@@ -1,0 +1,1 @@
+bin/synth.ml: Arg Array Cmd Cmdliner Isa Machine Minmax Planning Printf Search Term

@@ -1,0 +1,138 @@
+(* Command-line synthesizer: the repository's front door.
+
+   Examples:
+     synth -n 3                       fastest configuration, print the kernel
+     synth -n 3 --x86                 render as x86-64 assembly
+     synth -n 4 --engine level        certified-minimal search
+     synth -n 3 --all --cut 2         enumerate all optimal kernels
+     synth -n 3 --minmax              min/max (vector) kernel
+     synth -n 3 --prove-none 10       show no shorter kernel exists
+     synth -n 3 --pddl                emit the PDDL planning encoding *)
+
+open Cmdliner
+
+let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch =
+  let cfg = Isa.Config.make ~n ~m:scratch in
+  if pddl then begin
+    print_string (Planning.Pddl.domain cfg);
+    print_newline ();
+    print_string (Planning.Pddl.problem cfg);
+    `Ok ()
+  end
+  else if minmax then begin
+    let opts =
+      { Minmax.default with Minmax.all_solutions = all; max_len }
+    in
+    let r = Minmax.synthesize ~opts n in
+    match r.Minmax.programs with
+    | [] ->
+        Printf.printf "no min/max kernel found\n";
+        `Ok ()
+    | p :: _ ->
+        Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
+          (Array.length p) r.Minmax.solution_count r.Minmax.elapsed
+          r.Minmax.expanded;
+        print_endline
+          (if x86 then Minmax.Vexec.to_x86 cfg p else Minmax.Vexec.to_string cfg p);
+        `Ok ()
+  end
+  else begin
+    let heuristic =
+      match heuristic with
+      | "none" -> Search.No_heuristic
+      | "perm" -> Search.Perm_count
+      | "assign" -> Search.Assign_count
+      | "dist" -> Search.Dist_bound
+      | s -> invalid_arg (Printf.sprintf "unknown heuristic %S" s)
+    in
+    let opts =
+      {
+        Search.best with
+        Search.engine = (if engine = "level" then Search.Level_sync else Search.Astar);
+        heuristic;
+        cut = (if cut <= 0. then Search.No_cut else Search.Mult cut);
+        max_len;
+        max_solutions = 50;
+      }
+    in
+    let mode =
+      match prove_none with
+      | Some l -> Search.Prove_none l
+      | None -> if all then Search.All_optimal else Search.Find_first
+    in
+    let r = Search.run_mode ~opts ~mode cfg in
+    (match mode with
+    | Search.Prove_none l ->
+        Printf.printf
+          (match r.Search.optimal_length with
+          | None -> format_of_string "no kernel of length <= %d exists (%d states explored)\n"
+          | Some _ -> format_of_string "a kernel of length <= %d exists! (%d states)\n")
+          l r.Search.stats.Search.expanded
+    | _ -> (
+        match r.Search.programs with
+        | [] -> Printf.printf "no kernel found\n"
+        | p :: _ ->
+            Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
+              (Array.length p) r.Search.solution_count
+              r.Search.stats.Search.elapsed r.Search.stats.Search.expanded;
+            print_endline
+              (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
+            assert (Machine.Exec.sorts_all_permutations cfg p)));
+    `Ok ()
+  end
+
+let n =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Array length to sort (1-6).")
+
+let minmax = Arg.(value & flag & info [ "minmax" ] ~doc:"Use the min/max vector ISA.")
+
+let engine =
+  Arg.(
+    value
+    & opt (enum [ ("astar", "astar"); ("level", "level") ]) "astar"
+    & info [ "engine" ] ~doc:"Search engine: astar (fast) or level (certified minimal).")
+
+let all = Arg.(value & flag & info [ "all" ] ~doc:"Enumerate all optimal kernels.")
+
+let cut =
+  Arg.(
+    value & opt float 1.0
+    & info [ "cut"; "k" ] ~docv:"K"
+        ~doc:"Perm-count cut factor (Section 3.5); 0 disables the cut.")
+
+let heuristic =
+  Arg.(
+    value
+    & opt (enum [ ("none", "none"); ("perm", "perm"); ("assign", "assign"); ("dist", "dist") ]) "perm"
+    & info [ "heuristic" ] ~doc:"A* heuristic: none, perm, assign, or dist.")
+
+let max_len =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-len" ] ~docv:"L" ~doc:"Length bound for the search.")
+
+let x86 = Arg.(value & flag & info [ "x86" ] ~doc:"Print x86-64 assembly.")
+
+let prove_none =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "prove-none" ] ~docv:"L"
+        ~doc:"Exhaustively show that no kernel of length <= L exists.")
+
+let pddl =
+  Arg.(value & flag & info [ "pddl" ] ~doc:"Emit the PDDL domain and problem.")
+
+let scratch =
+  Arg.(value & opt int 1 & info [ "scratch"; "m" ] ~doc:"Scratch registers (default 1).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
+    Term.(
+      ret
+        (const run $ n $ minmax $ engine $ all $ cut $ heuristic $ max_len $ x86
+        $ prove_none $ pddl $ scratch))
+
+let () = exit (Cmd.eval cmd)

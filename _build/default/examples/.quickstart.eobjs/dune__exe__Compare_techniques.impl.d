@@ -1,0 +1,1 @@
+examples/compare_techniques.ml: Array Csp Ilp Isa Mcts Option Planning Printf Search Smtlite Stoke String

@@ -1,0 +1,1 @@
+examples/custom_kernel_bench.ml: Array Isa List Machine Perf Printf Sortsynth

@@ -1,0 +1,1 @@
+examples/enumerate_all.ml: Array Isa List Machine Perf Printf Search Sys

@@ -1,0 +1,1 @@
+examples/enumerate_all.mli:

@@ -1,0 +1,1 @@
+examples/minmax_kernels.ml: Array Isa List Minmax Perf Printf

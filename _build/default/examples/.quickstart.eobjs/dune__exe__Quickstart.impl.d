@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Isa Machine Printf Sortnet Sortsynth String

@@ -1,0 +1,1 @@
+examples/scratch_ablation.ml: Array Isa Printf Search String Sys

@@ -1,0 +1,1 @@
+examples/scratch_ablation.mli:

@@ -1,0 +1,1 @@
+lib/csp/fd.ml: Array Fun List

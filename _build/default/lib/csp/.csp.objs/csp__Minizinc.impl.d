@@ -1,0 +1,1 @@
+lib/csp/minizinc.ml: Array Buffer Isa List Model Perms Printf

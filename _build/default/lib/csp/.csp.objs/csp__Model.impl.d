@@ -1,0 +1,1 @@
+lib/csp/model.ml: Array Bool Fd Isa List Machine Perms Unix

@@ -1,0 +1,1 @@
+lib/csp/model.mli: Isa

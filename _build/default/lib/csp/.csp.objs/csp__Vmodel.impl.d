@@ -1,0 +1,1 @@
+lib/csp/vmodel.ml: Array Fd Isa List Minmax Perms Unix

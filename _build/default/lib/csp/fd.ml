@@ -1,0 +1,177 @@
+type var = int (* index *)
+
+type t = {
+  mutable doms : int array; (* bitmask domain per variable *)
+  mutable nvars : int;
+  mutable props : (t -> bool) array; (* propagator pool *)
+  mutable nprops : int;
+  mutable watchers : int list array; (* var -> propagator ids *)
+  mutable trail : (int * int) list; (* (var, old domain) *)
+  mutable trail_marks : int list; (* trail lengths at choice points *)
+  mutable trail_len : int;
+  mutable queue : int list; (* pending propagator ids *)
+  mutable queued : bool array;
+  mutable nodes : int;
+}
+
+let create () =
+  {
+    doms = Array.make 16 0;
+    nvars = 0;
+    props = Array.make 16 (fun _ -> true);
+    nprops = 0;
+    watchers = Array.make 16 [];
+    trail = [];
+    trail_marks = [];
+    trail_len = 0;
+    queue = [];
+    queued = Array.make 16 false;
+    nodes = 0;
+  }
+
+let new_var t ~lo ~hi =
+  if lo < 0 || hi > 62 || lo > hi then invalid_arg "Fd.new_var: bad bounds";
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  if t.nvars > Array.length t.doms then begin
+    let nd = Array.make (2 * Array.length t.doms) 0 in
+    Array.blit t.doms 0 nd 0 v;
+    t.doms <- nd;
+    let nw = Array.make (2 * Array.length t.watchers) [] in
+    Array.blit t.watchers 0 nw 0 v;
+    t.watchers <- nw
+  end;
+  t.doms.(v) <- ((1 lsl (hi - lo + 1)) - 1) lsl lo;
+  v
+
+let dom_values t v =
+  let d = t.doms.(v) in
+  List.filter (fun i -> d land (1 lsl i) <> 0) (List.init 63 Fun.id)
+
+let is_fixed t v =
+  let d = t.doms.(v) in
+  d <> 0 && d land (d - 1) = 0
+
+let value t v =
+  if not (is_fixed t v) then invalid_arg "Fd.value: variable not fixed";
+  let d = t.doms.(v) in
+  let rec go i = if d land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let enqueue_watchers t v =
+  List.iter
+    (fun p ->
+      if not t.queued.(p) then begin
+        t.queued.(p) <- true;
+        t.queue <- p :: t.queue
+      end)
+    t.watchers.(v)
+
+let set_dom t v d =
+  if d <> t.doms.(v) then begin
+    t.trail <- (v, t.doms.(v)) :: t.trail;
+    t.trail_len <- t.trail_len + 1;
+    t.doms.(v) <- d;
+    enqueue_watchers t v
+  end
+
+let remove_value t v x =
+  let d = t.doms.(v) land lnot (1 lsl x) in
+  if d = 0 then false
+  else begin
+    set_dom t v d;
+    true
+  end
+
+let assign t v x =
+  let d = t.doms.(v) land (1 lsl x) in
+  if d = 0 then false
+  else begin
+    set_dom t v d;
+    true
+  end
+
+let post t ?(watch = []) prop =
+  if t.nprops = Array.length t.props then begin
+    let np = Array.make (2 * t.nprops) (fun _ -> true) in
+    Array.blit t.props 0 np 0 t.nprops;
+    t.props <- np;
+    let nq = Array.make (2 * Array.length t.queued) false in
+    Array.blit t.queued 0 nq 0 t.nprops;
+    t.queued <- nq
+  end;
+  let id = t.nprops in
+  t.props.(id) <- prop;
+  t.nprops <- id + 1;
+  List.iter (fun v -> t.watchers.(v) <- id :: t.watchers.(v)) watch;
+  t.queued.(id) <- true;
+  t.queue <- id :: t.queue
+
+let propagate t =
+  let ok = ref true in
+  let rec loop () =
+    match t.queue with
+    | [] -> ()
+    | p :: rest ->
+        t.queue <- rest;
+        t.queued.(p) <- false;
+        if t.props.(p) t then loop ()
+        else begin
+          ok := false;
+          (* Drain the queue. *)
+          List.iter (fun q -> t.queued.(q) <- false) t.queue;
+          t.queue <- []
+        end
+  in
+  loop ();
+  !ok
+
+let push_mark t = t.trail_marks <- t.trail_len :: t.trail_marks
+
+let pop_mark t =
+  match t.trail_marks with
+  | [] -> invalid_arg "Fd.pop_mark"
+  | mark :: rest ->
+      t.trail_marks <- rest;
+      while t.trail_len > mark do
+        match t.trail with
+        | (v, d) :: tl ->
+            t.doms.(v) <- d;
+            t.trail <- tl;
+            t.trail_len <- t.trail_len - 1
+        | [] -> assert false
+      done;
+      List.iter (fun q -> t.queued.(q) <- false) t.queue;
+      t.queue <- []
+
+let nodes_explored t = t.nodes
+
+let solve ?(on_solution = fun _ -> true) ?(node_limit = max_int) t =
+  let limit_hit = ref false in
+  let stop = ref false in
+  let rec dfs () =
+    if !stop || !limit_hit then ()
+    else begin
+      t.nodes <- t.nodes + 1;
+      if t.nodes > node_limit then limit_hit := true
+      else begin
+        (* First unassigned variable, ascending values. *)
+        let rec first v = if v >= t.nvars then -1 else if is_fixed t v then first (v + 1) else v in
+        let v = first 0 in
+        if v < 0 then begin
+          if on_solution t then stop := true
+        end
+        else
+          List.iter
+            (fun x ->
+              if (not !stop) && not !limit_hit then begin
+                push_mark t;
+                if assign t v x && propagate t then dfs ();
+                pop_mark t
+              end)
+            (dom_values t v)
+      end
+    end
+  in
+  if propagate t then dfs ();
+  if !limit_hit then None else Some !stop

@@ -1,0 +1,41 @@
+(** A small finite-domain constraint solver (CP-MiniZinc analogue).
+
+    Variables carry bitmask domains over [0..62]; constraints are
+    propagators invoked on domain change; search is chronological
+    backtracking with trailing, first-unassigned variable order and
+    ascending value order (MiniZinc's default [input_order; indomain_min]).
+    Propagation runs to fixpoint after every decision. *)
+
+type t
+type var
+
+val create : unit -> t
+
+val new_var : t -> lo:int -> hi:int -> var
+(** Domain [lo..hi]; requires [0 <= lo <= hi <= 62]. *)
+
+val dom_values : t -> var -> int list
+val is_fixed : t -> var -> bool
+
+val value : t -> var -> int
+(** Value of a fixed variable. Raises [Invalid_argument] otherwise. *)
+
+val post : t -> ?watch:var list -> (t -> bool) -> unit
+(** [post t ~watch prop] registers propagator [prop], re-run whenever a
+    watched variable's domain shrinks. [prop] returns [false] on
+    inconsistency. It runs once immediately at the next propagation. *)
+
+val remove_value : t -> var -> int -> bool
+(** Prune one value; [false] if the domain wiped out. For use inside
+    propagators. *)
+
+val assign : t -> var -> int -> bool
+(** Restrict to a single value; [false] on wipeout. *)
+
+val solve : ?on_solution:(t -> bool) -> ?node_limit:int -> t -> bool option
+(** Depth-first search. [on_solution] is called on every full assignment and
+    returns [true] to stop ([false] continues enumerating). Returns
+    [Some true] if stopped at a solution, [Some false] if the space was
+    exhausted, [None] if the node limit was hit. *)
+
+val nodes_explored : t -> int

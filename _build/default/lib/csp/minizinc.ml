@@ -1,0 +1,75 @@
+let emit ?(opts = Model.default) ~len n =
+  let cfg = Isa.Config.default n in
+  let k = Isa.Config.nregs cfg in
+  let perms = Perms.all n in
+  let np = List.length perms in
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%% Sorting-kernel synthesis, n = %d, length = %d\n" n len;
+  add "%% Opcode codes: 0 = mov, 1 = cmp, 2 = cmovl, 3 = cmovg.\n";
+  add "int: LEN = %d;\n" len;
+  add "int: K = %d;  %% registers (r1..r%d, s1..s%d)\n" k n (k - n);
+  add "int: P = %d;  %% permutations\n" np;
+  add "set of int: STEP = 1..LEN;\n";
+  add "set of int: STEP0 = 0..LEN;\n";
+  add "set of int: REG = 1..K;\n";
+  add "set of int: PERM = 1..P;\n";
+  add "set of int: VAL = 0..%d;\n\n" n;
+  add "array[STEP] of var 0..3: op;\n";
+  add "array[STEP] of var REG: dst;\n";
+  add "array[STEP] of var REG: src;\n";
+  add "array[STEP0, PERM, REG] of var VAL: v;\n";
+  add "array[STEP0, PERM] of var 0..1: flt;\n";
+  add "array[STEP0, PERM] of var 0..1: fgt;\n\n";
+  (* Initial state per permutation. *)
+  List.iteri
+    (fun pi perm ->
+      Array.iteri (fun r x -> add "constraint v[0, %d, %d] = %d;\n" (pi + 1) (r + 1) x) perm;
+      for r = n + 1 to k do
+        add "constraint v[0, %d, %d] = 0;\n" (pi + 1) r
+      done;
+      add "constraint flt[0, %d] = 0 /\\ fgt[0, %d] = 0;\n" (pi + 1) (pi + 1))
+    perms;
+  add "\nconstraint forall (t in STEP) (dst[t] != src[t]);\n";
+  if opts.Model.cmp_symmetry then
+    add "constraint forall (t in STEP) (op[t] = 1 -> dst[t] < src[t]);\n";
+  if opts.Model.no_consecutive_cmp then
+    add "constraint forall (t in 1..LEN-1) (op[t] = 1 -> op[t+1] != 1);\n";
+  if opts.Model.first_is_cmp && len > 0 then add "constraint op[1] = 1;\n";
+  (* Transitions. *)
+  add
+    {|
+constraint forall (t in STEP, p in PERM, r in REG) (
+  v[t, p, r] =
+    if op[t] = 0 /\ dst[t] = r then v[t-1, p, src[t]]
+    elseif op[t] = 2 /\ dst[t] = r /\ flt[t-1, p] = 1 then v[t-1, p, src[t]]
+    elseif op[t] = 3 /\ dst[t] = r /\ fgt[t-1, p] = 1 then v[t-1, p, src[t]]
+    else v[t-1, p, r]
+    endif
+);
+constraint forall (t in STEP, p in PERM) (
+  flt[t, p] =
+    if op[t] = 1 then bool2int(v[t-1, p, dst[t]] < v[t-1, p, src[t]])
+    else flt[t-1, p] endif
+  /\
+  fgt[t, p] =
+    if op[t] = 1 then bool2int(v[t-1, p, dst[t]] > v[t-1, p, src[t]])
+    else fgt[t-1, p] endif
+);
+|};
+  (* Goal. *)
+  (match opts.Model.goal with
+  | Model.Goal_exact ->
+      add
+        "constraint forall (p in PERM, r in 1..%d) (v[LEN, p, r] = r);\n" n
+  | Model.Goal_ascending_present ->
+      add
+        "constraint forall (p in PERM, r in 1..%d) (v[LEN, p, r] <= v[LEN, p, r+1]);\n"
+        (n - 1);
+      add
+        "constraint forall (p in PERM, x in 1..%d) (exists (r in 1..%d) (v[LEN, p, r] = x));\n"
+        n n);
+  add "\nsolve satisfy;\n";
+  add
+    "output [ show(op[t]) ++ \" \" ++ show(dst[t]) ++ \" \" ++ show(src[t]) ++ \"\\n\" | t in STEP ];\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** MiniZinc model emitter.
+
+    Renders the synthesis problem in the MiniZinc language, matching the
+    paper's CP-MINIZINC artifact (Section 4.2): per-step decision variables
+    for opcode and operands, per-permutation state matrices, functional
+    transition constraints written with [if-then-else] expressions, and the
+    goal/heuristic variants from the paper's ablation. The emitted model is
+    self-contained and can be handed to any MiniZinc solver; the in-repo
+    {!Model} implements the same semantics natively. *)
+
+val emit : ?opts:Model.options -> len:int -> int -> string
+(** [emit ~len n] is the MiniZinc source for a kernel of exactly [len]
+    instructions sorting all permutations of [1..n]. *)

@@ -1,0 +1,115 @@
+type t = {
+  cfg : Isa.Config.t;
+  table : int array; (* indexed by assignment code; -2 unreachable, -1 dead *)
+  reachable : int array; (* all reachable codes *)
+  max_finite : int;
+}
+
+let infinity = max_int / 4
+
+(* Reachable codes: forward closure of the initial permutation assignments
+   under all instructions. *)
+let reachable_codes cfg instrs =
+  let seen = Bytes.make (Machine.Assign.max_code cfg) '\000' in
+  let stack = ref [] in
+  let push c =
+    if Bytes.get seen c = '\000' then begin
+      Bytes.set seen c '\001';
+      stack := c :: !stack
+    end
+  in
+  List.iter
+    (fun p -> push (Machine.Assign.of_permutation cfg p))
+    (Perms.all cfg.Isa.Config.n);
+  let acc = ref [] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | c :: rest ->
+        stack := rest;
+        acc := c :: !acc;
+        Array.iter (fun i -> push (Machine.Assign.apply cfg i c)) instrs;
+        loop ()
+  in
+  loop ();
+  Array.of_list !acc
+
+let compute cfg =
+  let instrs = Isa.Instr.all cfg in
+  let reachable = reachable_codes cfg instrs in
+  let table = Array.make (Machine.Assign.max_code cfg) (-2) in
+  Array.iter
+    (fun c -> table.(c) <- (if Machine.Assign.is_sorted cfg c then 0 else -1))
+    reachable;
+  (* Backward rounds: an assignment is at distance r if some instruction
+     takes it to distance r - 1. Terminates because each round labels at
+     least one code or stops. *)
+  let max_finite = ref 0 in
+  let progress = ref true in
+  let round = ref 0 in
+  while !progress do
+    incr round;
+    progress := false;
+    Array.iter
+      (fun c ->
+        if table.(c) = -1 then
+          let best = ref max_int in
+          Array.iter
+            (fun i ->
+              let d = table.(Machine.Assign.apply cfg i c) in
+              if d >= 0 && d < !best then best := d)
+            instrs;
+          if !best = !round - 1 then begin
+            table.(c) <- !round;
+            max_finite := !round;
+            progress := true
+          end)
+      reachable
+  done;
+  { cfg; table; reachable; max_finite = !max_finite }
+
+let cache : (int * int, t) Hashtbl.t = Hashtbl.create 8
+
+let compute_cached cfg =
+  let key = (cfg.Isa.Config.n, cfg.Isa.Config.m) in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let t = compute cfg in
+      Hashtbl.replace cache key t;
+      t
+
+let config t = t.cfg
+
+let dist t c =
+  match t.table.(c) with
+  | -2 -> invalid_arg "Distance.dist: code not reachable"
+  | -1 -> infinity
+  | d -> d
+
+let state_lower_bound t s =
+  Array.fold_left (fun acc c -> max acc (dist t c)) 0 (Sstate.codes s)
+
+let reachable_count t = Array.length t.reachable
+let max_finite_dist t = t.max_finite
+
+let is_optimal_action t i c =
+  let d = dist t c in
+  d > 0 && d < infinity && dist t (Machine.Assign.apply t.cfg i c) = d - 1
+
+let optimal_actions t instrs s =
+  (* Comparisons are always admitted: an optimal sequence for a single
+     assignment never needs a [cmp] (the values are known, so unconditional
+     moves suffice), so filtering comparisons by single-assignment optimality
+     would remove every comparison and starve the tandem search, which does
+     need them. Only data-moving instructions are filtered. *)
+  let marks =
+    Array.map (fun i -> i.Isa.Instr.op = Isa.Instr.Cmp) instrs
+  in
+  Array.iter
+    (fun c ->
+      Array.iteri
+        (fun k i -> if (not marks.(k)) && is_optimal_action t i c then marks.(k) <- true)
+        instrs)
+    (Sstate.codes s);
+  marks

@@ -1,0 +1,1 @@
+lib/harness/artifacts.ml: Array Buffer Csp Filename Isa List Minmax Planning Printf Search Sys Tsne Unix

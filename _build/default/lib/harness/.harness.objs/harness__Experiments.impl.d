@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Csp Hybrid Ilp Isa List Machine Minmax Option Perf Perms Planning Printf Search Smtlite Stoke String Sygus Table Tsne Unix

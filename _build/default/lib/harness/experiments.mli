@@ -1,0 +1,26 @@
+(** Experiment runners: one per table and figure of the paper's evaluation
+    (Section 5), plus the Section 2.1 worked examples.
+
+    Each runner regenerates its artifact from scratch using the libraries
+    in this repository and prints it next to the paper's reference numbers.
+    [full:false] (the default) keeps every experiment within tens of
+    seconds by reducing enumeration budgets where the paper spent hours or
+    weeks; [full:true] lifts the reductions (documented per experiment in
+    EXPERIMENTS.md). Results computed by one experiment (e.g. the n = 4
+    solution enumeration) are cached and shared within the process. *)
+
+type spec = {
+  id : string;  (** ["e1"] .. ["e21"]. *)
+  title : string;
+  paper_ref : string;  (** Where in the paper the artifact lives. *)
+  run : full:bool -> unit;
+}
+
+val all : spec list
+
+val find : string -> spec option
+
+val run_ids : full:bool -> string list -> unit
+(** Run the given experiment ids (all of them when the list is empty),
+    printing a banner per experiment. Unknown ids raise
+    [Invalid_argument]. *)

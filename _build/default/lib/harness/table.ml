@@ -1,0 +1,35 @@
+let print ?title header rows =
+  (match title with
+  | Some t -> Printf.printf "\n%s\n" t
+  | None -> ());
+  let all = header :: rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun a r -> max a (try String.length (List.nth r c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = try List.nth r c with _ -> "" in
+           s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths)
+  in
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun r -> Printf.printf "%s\n" (line r)) rows
+
+let time_str t =
+  if t < 1e-3 then Printf.sprintf "%.0f us" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.0f ms" (t *. 1e3)
+  else if t < 120.0 then Printf.sprintf "%.2f s" t
+  else Printf.sprintf "%.1f min" (t /. 60.)
+
+let note s = Printf.printf "  note: %s\n" s
+
+let section s =
+  let bar = String.make (String.length s + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar s bar

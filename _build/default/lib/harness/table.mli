@@ -1,0 +1,13 @@
+(** Plain-text table rendering shared by all experiment runners. *)
+
+val print : ?title:string -> string list -> string list list -> unit
+(** [print ~title header rows] renders an aligned table to stdout. *)
+
+val time_str : float -> string
+(** Human-friendly duration: ["97 ms"], ["2.4 s"], ["11.0 min"]. *)
+
+val note : string -> unit
+(** Indented free-form remark under a table. *)
+
+val section : string -> unit
+(** Experiment banner. *)

@@ -1,0 +1,52 @@
+(** Hybrid cmov + min/max kernels (paper, Section 5.4).
+
+    The paper briefly investigates kernels mixing conditional moves (general
+    purpose register file) with [pmin]/[pmax] (vector register file) and
+    reports that the transfer instructions needed between the two files make
+    hybrids uncompetitive. This module makes that claim reproducible: it
+    models the {e combined} machine — both register files, both instruction
+    sets, plus [movd]-style transfers — and runs the same level-synchronous
+    synthesis over it. Values start and must end in the general-purpose
+    file, so any use of the vector units has to pay for round-trip
+    transfers.
+
+    Register indexing: [0 .. n+m-1] are the general-purpose registers
+    (values then scratch, as in {!Isa.Config}); [n+m .. n+m+n+m-1] are the
+    vector registers (values then scratch). *)
+
+type instr =
+  | Gp of Isa.Instr.t  (** mov/cmp/cmovl/cmovg on the GP file. *)
+  | Vec of Minmax.Vinstr.t  (** movdqa/pmin/pmax on the vector file. *)
+  | To_vec of int * int  (** [To_vec (x, r)]: vector reg [x] := GP reg [r]. *)
+  | To_gp of int * int  (** [To_gp (r, x)]: GP reg [r] := vector reg [x]. *)
+
+type program = instr array
+
+val all_instrs : Isa.Config.t -> instr array
+(** The combined instruction universe for width [n] with [m] scratch
+    registers per file. *)
+
+val run : Isa.Config.t -> program -> int array -> int array
+(** Execute on arbitrary integers; returns the GP value registers. *)
+
+val sorts_all_permutations : Isa.Config.t -> program -> bool
+
+val to_string : Isa.Config.t -> program -> string
+
+val transfer_count : program -> int
+(** Number of cross-file transfer instructions. *)
+
+type result = {
+  programs : program list;
+  optimal_length : int option;
+  expanded : int;
+  elapsed : float;
+}
+
+val synthesize : ?cut:float option -> ?max_len:int -> int -> result
+(** Level-synchronous search over the combined machine (dedup, erasure
+    viability, optional perm-count cut). For [n = 2] this certifies the
+    hybrid optimum; [n = 3] is feasible with the default cut. The paper's
+    observation falls out: the optimum either ignores the vector file
+    entirely (equalling the pure cmov optimum) or pays [2n] transfers on
+    top of the pure min/max optimum, which is never worth it. *)

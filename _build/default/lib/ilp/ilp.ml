@@ -1,0 +1,292 @@
+module Solver = struct
+  type constr = { coeffs : (int * int) array; bound : int }
+
+  type t = {
+    mutable nvars : int;
+    mutable constrs : constr list; (* all are sum <= bound *)
+    mutable objective : (int * int) list;
+    mutable node_count : int;
+    mutable occurs : int list array; (* var -> constraint ids, filled at solve *)
+  }
+
+  let create () =
+    { nvars = 0; constrs = []; objective = []; node_count = 0; occurs = [||] }
+
+  let new_var t =
+    let v = t.nvars in
+    t.nvars <- v + 1;
+    v
+
+  let add_le t coeffs b =
+    t.constrs <- { coeffs = Array.of_list coeffs; bound = b } :: t.constrs
+
+  let add_ge t coeffs b =
+    add_le t (List.map (fun (c, x) -> (-c, x)) coeffs) (-b)
+
+  let add_eq t coeffs b =
+    add_le t coeffs b;
+    add_ge t coeffs b
+
+  let set_objective t obj = t.objective <- obj
+
+  type outcome = Optimal of int * bool array | Infeasible | Limit
+
+  let nodes t = t.node_count
+
+  (* Minimum possible activity of a constraint under partial assignment:
+     fixed vars contribute their value, free vars the sign-favourable one. *)
+  let min_activity assign c =
+    Array.fold_left
+      (fun acc (coef, v) ->
+        match assign.(v) with
+        | -1 -> if coef < 0 then acc + coef else acc
+        | 0 -> acc
+        | _ -> acc + coef)
+      0 c.coeffs
+
+  let solve ?(node_limit = max_int) t =
+    let ncon = List.length t.constrs in
+    let constrs = Array.of_list t.constrs in
+    t.occurs <- Array.make (max t.nvars 1) [];
+    Array.iteri
+      (fun ci c ->
+        Array.iter (fun (_, v) -> t.occurs.(v) <- ci :: t.occurs.(v)) c.coeffs)
+      constrs;
+    ignore ncon;
+    let assign = Array.make t.nvars (-1) in
+    let best = ref None and best_obj = ref max_int in
+    let obj_value () =
+      List.fold_left
+        (fun acc (c, v) -> if assign.(v) = 1 then acc + c else acc)
+        0 t.objective
+    in
+    let obj_lower () =
+      (* Optimistic completion: free vars take the sign-favourable value. *)
+      List.fold_left
+        (fun acc (c, v) ->
+          match assign.(v) with
+          | 1 -> acc + c
+          | -1 -> if c < 0 then acc + c else acc
+          | _ -> acc)
+        0 t.objective
+    in
+    (* Bound propagation: returns the trail of fixed vars, or None on
+       failure. *)
+    let propagate () =
+      let trail = ref [] in
+      let failed = ref false in
+      let changed = ref true in
+      while !changed && not !failed do
+        changed := false;
+        Array.iter
+          (fun c ->
+            if not !failed then begin
+              let ma = min_activity assign c in
+              if ma > c.bound then failed := true
+              else
+                Array.iter
+                  (fun (coef, v) ->
+                    if assign.(v) = -1 then begin
+                      (* Forcing: setting v against its favourable value
+                         must not exceed the bound. *)
+                      let delta = abs coef in
+                      if ma + delta > c.bound then begin
+                        let forced = if coef > 0 then 0 else 1 in
+                        assign.(v) <- forced;
+                        trail := v :: !trail;
+                        changed := true
+                      end
+                    end)
+                  c.coeffs
+            end)
+          constrs
+      done;
+      if !failed then begin
+        List.iter (fun v -> assign.(v) <- -1) !trail;
+        None
+      end
+      else Some !trail
+    in
+    let limit_hit = ref false in
+    let rec dfs () =
+      if not !limit_hit then begin
+        t.node_count <- t.node_count + 1;
+        if t.node_count > node_limit then limit_hit := true
+        else if obj_lower () >= !best_obj && !best <> None then ()
+        else begin
+          match propagate () with
+          | None -> ()
+          | Some trail ->
+              let rec first v =
+                if v >= t.nvars then -1
+                else if assign.(v) = -1 then v
+                else first (v + 1)
+              in
+              let v = first 0 in
+              if v < 0 then begin
+                let o = obj_value () in
+                if o < !best_obj || !best = None then begin
+                  best_obj := o;
+                  best := Some (Array.map (( = ) 1) assign)
+                end
+              end
+              else begin
+                assign.(v) <- 0;
+                dfs ();
+                assign.(v) <- 1;
+                dfs ();
+                assign.(v) <- -1
+              end;
+              List.iter (fun w -> assign.(w) <- -1) trail
+        end
+      end
+    in
+    dfs ();
+    match (!best, !limit_hit) with
+    | Some a, _ -> Optimal (!best_obj, a)
+    | None, true -> Limit
+    | None, false -> Infeasible
+end
+
+module Model = struct
+  type outcome = Found of Isa.Program.t | Infeasible | Node_limit
+
+  type result = {
+    outcome : outcome;
+    nodes : int;
+    variables : int;
+    constraints : int;
+    elapsed : float;
+  }
+
+  (* Clause helper: a disjunction of literals as a >= 1 linear constraint,
+     with (var, polarity). *)
+  let clause s lits =
+    let coeffs = List.map (fun (v, pos) -> ((if pos then 1 else -1), v)) lits in
+    let negs = List.length (List.filter (fun (_, pos) -> not pos) lits) in
+    Solver.add_ge s coeffs (1 - negs)
+
+  let synth ?(node_limit = max_int) ~len n =
+    let start = Unix.gettimeofday () in
+    let cfg = Isa.Config.default n in
+    let k = Isa.Config.nregs cfg in
+    let dom = n + 1 in
+    let instrs = Isa.Instr.all cfg in
+    let ni = Array.length instrs in
+    let s = Solver.create () in
+    let ins = Array.init len (fun _ -> Array.init ni (fun _ -> Solver.new_var s)) in
+    (* Exactly one instruction per step. *)
+    Array.iter
+      (fun row ->
+        Solver.add_eq s (Array.to_list (Array.map (fun v -> (1, v)) row)) 1)
+      ins;
+    let perms = Perms.all n in
+    List.iter
+      (fun perm ->
+        let reg =
+          Array.init (len + 1) (fun _ ->
+              Array.init k (fun _ -> Array.init dom (fun _ -> Solver.new_var s)))
+        in
+        let flt = Array.init (len + 1) (fun _ -> Solver.new_var s) in
+        let fgt = Array.init (len + 1) (fun _ -> Solver.new_var s) in
+        for t = 0 to len do
+          for r = 0 to k - 1 do
+            Solver.add_eq s
+              (Array.to_list (Array.map (fun v -> (1, v)) reg.(t).(r)))
+              1
+          done
+        done;
+        (* Initial state. *)
+        for r = 0 to k - 1 do
+          let v = if r < n then perm.(r) else 0 in
+          Solver.add_eq s [ (1, reg.(0).(r).(v)) ] 1
+        done;
+        Solver.add_eq s [ (1, flt.(0)) ] 0;
+        Solver.add_eq s [ (1, fgt.(0)) ] 0;
+        for t = 0 to len - 1 do
+          Array.iteri
+            (fun idx instr ->
+              let i = ins.(t).(idx) in
+              let d = instr.Isa.Instr.dst and src = instr.Isa.Instr.src in
+              let frame r =
+                for v = 0 to dom - 1 do
+                  clause s
+                    [ (i, false); (reg.(t).(r).(v), false); (reg.(t + 1).(r).(v), true) ]
+                done
+              in
+              let frame_flags () =
+                clause s [ (i, false); (flt.(t), false); (flt.(t + 1), true) ];
+                clause s [ (i, false); (flt.(t), true); (flt.(t + 1), false) ];
+                clause s [ (i, false); (fgt.(t), false); (fgt.(t + 1), true) ];
+                clause s [ (i, false); (fgt.(t), true); (fgt.(t + 1), false) ]
+              in
+              match instr.Isa.Instr.op with
+              | Isa.Instr.Mov ->
+                  for r = 0 to k - 1 do
+                    if r <> d then frame r
+                  done;
+                  frame_flags ();
+                  for v = 0 to dom - 1 do
+                    clause s
+                      [ (i, false); (reg.(t).(src).(v), false); (reg.(t + 1).(d).(v), true) ]
+                  done
+              | Isa.Instr.Cmp ->
+                  for r = 0 to k - 1 do
+                    frame r
+                  done;
+                  for va = 0 to dom - 1 do
+                    for vb = 0 to dom - 1 do
+                      let pre = [ (i, false); (reg.(t).(d).(va), false); (reg.(t).(src).(vb), false) ] in
+                      clause s ((flt.(t + 1), va < vb) :: pre);
+                      clause s ((fgt.(t + 1), va > vb) :: pre)
+                    done
+                  done
+              | Isa.Instr.Cmovl | Isa.Instr.Cmovg ->
+                  let flag = if instr.Isa.Instr.op = Isa.Instr.Cmovl then flt else fgt in
+                  for r = 0 to k - 1 do
+                    if r <> d then frame r
+                  done;
+                  frame_flags ();
+                  (* Big-M linearized product: the move happens iff the
+                     instruction is chosen AND the flag is set. *)
+                  for v = 0 to dom - 1 do
+                    clause s
+                      [ (i, false); (flag.(t), false); (reg.(t).(src).(v), false);
+                        (reg.(t + 1).(d).(v), true) ];
+                    clause s
+                      [ (i, false); (flag.(t), true); (reg.(t).(d).(v), false);
+                        (reg.(t + 1).(d).(v), true) ]
+                  done)
+            instrs
+        done;
+        (* Goal: exact sorted output. *)
+        for r = 0 to n - 1 do
+          Solver.add_eq s [ (1, reg.(len).(r).(r + 1)) ] 1
+        done)
+      perms;
+    let constraints = List.length s.Solver.constrs in
+    let outcome =
+      match Solver.solve ~node_limit s with
+      | Solver.Limit -> Node_limit
+      | Solver.Infeasible -> Infeasible
+      | Solver.Optimal (_, a) ->
+          let p =
+            Array.init len (fun t ->
+                let rec find i =
+                  if i >= ni then failwith "Ilp.Model: no instruction chosen"
+                  else if a.(ins.(t).(i)) then instrs.(i)
+                  else find (i + 1)
+                in
+                find 0)
+          in
+          assert (Machine.Exec.sorts_all_permutations cfg p);
+          Found p
+    in
+    {
+      outcome;
+      nodes = Solver.nodes s;
+      variables = s.Solver.nvars;
+      constraints;
+      elapsed = Unix.gettimeofday () -. start;
+    }
+end

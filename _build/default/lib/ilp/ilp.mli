@@ -1,0 +1,54 @@
+(** 0/1 integer linear programming (CP-ILP analogue, paper Section 4.2).
+
+    A combinatorial branch-and-bound solver over binary variables with
+    linear [<=] constraints: bound propagation fixes forced variables
+    (minimum-activity reasoning), depth-first branching explores the rest.
+    The paper's ILP formulations of kernel synthesis — with big-M
+    linearization of the [instruction x flag] products — are built on top
+    in {!Model}. The paper found that no ILP solver handles [n = 3]; this
+    solver reproduces that behaviour while solving [n = 2] and the unit
+    instances exactly. *)
+
+module Solver : sig
+  type t
+
+  val create : unit -> t
+
+  val new_var : t -> int
+  (** A fresh binary variable (0-based index). *)
+
+  val add_le : t -> (int * int) list -> int -> unit
+  (** [add_le t [(c1, x1); ...] b] posts [sum ci * xi <= b]. *)
+
+  val add_ge : t -> (int * int) list -> int -> unit
+  val add_eq : t -> (int * int) list -> int -> unit
+
+  val set_objective : t -> (int * int) list -> unit
+  (** Minimize the given linear form (default: feasibility only). *)
+
+  type outcome = Optimal of int * bool array | Infeasible | Limit
+
+  val solve : ?node_limit:int -> t -> outcome
+  (** Branch and bound; [Optimal (obj, assignment)] on success. *)
+
+  val nodes : t -> int
+end
+
+module Model : sig
+  (** The synthesis-as-ILP encoding with big-M products. *)
+
+  type outcome = Found of Isa.Program.t | Infeasible | Node_limit
+
+  type result = {
+    outcome : outcome;
+    nodes : int;
+    variables : int;
+    constraints : int;
+    elapsed : float;
+  }
+
+  val synth : ?node_limit:int -> len:int -> int -> result
+  (** Search for a sorting kernel of exactly [len] instructions for width
+      [n], one-hot over the shared instruction universe. Verified before
+      being reported. *)
+end

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Array Config Format List Printf Stdlib String

@@ -1,0 +1,24 @@
+type t = { n : int; m : int }
+
+let make ~n ~m =
+  if n < 1 || n > 6 then invalid_arg "Config.make: n must be in 1..6";
+  if m < 0 || m > 3 then invalid_arg "Config.make: m must be in 0..3";
+  { n; m }
+
+let default n = make ~n ~m:1
+let nregs t = t.n + t.m
+let is_value_reg t i = i >= 0 && i < t.n
+
+let reg_name t i =
+  if i < 0 || i >= nregs t then invalid_arg "Config.reg_name: out of range";
+  if i < t.n then Printf.sprintf "r%d" (i + 1)
+  else Printf.sprintf "s%d" (i - t.n + 1)
+
+let value_regs = [| "rax"; "rbx"; "rcx"; "rdx"; "rsi"; "rbp" |]
+let scratch_regs = [| "rdi"; "r8"; "r9" |]
+
+let x86_reg_name t i =
+  if i < 0 || i >= nregs t then invalid_arg "Config.x86_reg_name: out of range";
+  if i < t.n then value_regs.(i) else scratch_regs.(i - t.n)
+
+let pp ppf t = Format.fprintf ppf "{n=%d; m=%d}" t.n t.m

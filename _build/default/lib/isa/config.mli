@@ -1,0 +1,35 @@
+(** Register-file configuration for sorting-kernel synthesis.
+
+    Following the paper's model (Section 2.2): registers [r_1 .. r_n] hold
+    the values to be sorted, scratch registers [s_1 .. s_m] assist swapping,
+    and comparison flags [lt]/[gt] carry the last [cmp] result. Register
+    indices are 0-based in this implementation: indices [0 .. n-1] are the
+    value registers, [n .. n+m-1] the scratch registers. *)
+
+type t = private { n : int; m : int }
+
+val make : n:int -> m:int -> t
+(** [make ~n ~m] is the configuration for sorting [n] values with [m] scratch
+    registers. Raises [Invalid_argument] unless [1 <= n <= 6] and
+    [0 <= m <= 3] (the encodings in {!Machine.Assign} pack register values
+    into an OCaml [int] and need these bounds). *)
+
+val default : int -> t
+(** [default n] is [make ~n ~m:1] — the paper uses a single scratch register
+    for all cmov kernels. *)
+
+val nregs : t -> int
+(** Total number of registers, [n + m]. *)
+
+val is_value_reg : t -> int -> bool
+(** [is_value_reg cfg i] is true iff register [i] is one of [r_1 .. r_n]. *)
+
+val reg_name : t -> int -> string
+(** Symbolic register name, [r1..rn] then [s1..sm]. *)
+
+val x86_reg_name : t -> int -> string
+(** Concrete x86-64 general-purpose register name used when rendering kernels
+    as inline assembly ([rax], [rbx], [rcx], [rdx], [rsi], then scratch
+    [rdi], [r8], [r9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = Instr.t array
+
+let length = Array.length
+let append p i = Array.append p [| i |]
+
+let to_string cfg p =
+  Array.to_list p |> List.map (Instr.to_string cfg) |> String.concat "\n"
+
+let to_x86 cfg p =
+  Array.to_list p |> List.map (Instr.to_x86 cfg) |> String.concat "\n"
+
+let of_string cfg s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | l :: rest -> (
+        match Instr.of_string cfg l with
+        | Ok i -> go (i :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] lines
+
+let opcode_signature p =
+  String.init (Array.length p) (fun i -> Instr.opcode_letter p.(i).Instr.op)
+
+let opcode_counts p =
+  let cmp = ref 0 and mov = ref 0 and cmov = ref 0 in
+  Array.iter
+    (fun i ->
+      match i.Instr.op with
+      | Instr.Cmp -> incr cmp
+      | Instr.Mov -> incr mov
+      | Instr.Cmovl | Instr.Cmovg -> incr cmov)
+    p;
+  (!cmp, !mov, !cmov, 0)
+
+let score p =
+  Array.fold_left
+    (fun acc i ->
+      acc
+      +
+      match i.Instr.op with
+      | Instr.Mov -> 1
+      | Instr.Cmp -> 2
+      | Instr.Cmovl | Instr.Cmovg -> 4)
+    0 p
+
+let rename_registers p sigma =
+  Array.map
+    (fun i ->
+      if i.Instr.dst >= Array.length sigma || i.Instr.src >= Array.length sigma
+      then invalid_arg "Program.rename_registers: sigma too short";
+      { i with Instr.dst = sigma.(i.Instr.dst); src = sigma.(i.Instr.src) })
+    p
+
+let equal a b = a = b
+let pp cfg ppf p = Format.pp_print_string ppf (to_string cfg p)

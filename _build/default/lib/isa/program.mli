@@ -1,0 +1,37 @@
+(** Straight-line programs over the sorting-kernel ISA. *)
+
+type t = Instr.t array
+
+val length : t -> int
+val append : t -> Instr.t -> t
+
+val to_string : Config.t -> t -> string
+(** One instruction per line, symbolic register names. *)
+
+val to_x86 : Config.t -> t -> string
+(** One instruction per line, x86-64 Intel syntax. *)
+
+val of_string : Config.t -> string -> (t, string) result
+(** Parse the {!to_string} form. Blank lines and [#]-comments are ignored. *)
+
+val opcode_signature : t -> string
+(** The command combination of a program: one {!Instr.opcode_letter} per
+    instruction, in program order. The paper (Section 5.1) reports that the
+    5602 optimal kernels for [n = 3] use only 23 distinct command
+    combinations. *)
+
+val opcode_counts : t -> int * int * int * int
+(** [(cmp, mov, cmovl + cmovg, other)] — the instruction-mix columns of the
+    Section 5.3 tables. [other] is always 0 for this ISA. *)
+
+val score : t -> int
+(** The sampling score of Section 5.3: mov weighs 1, cmp weighs 2 and
+    conditional moves weigh 4. Lower is predicted faster. *)
+
+val rename_registers : t -> int array -> t
+(** [rename_registers p sigma] replaces every register [r] with
+    [sigma.(r)]. Used for symmetry canonicalization. Raises
+    [Invalid_argument] when [sigma] is too short. *)
+
+val equal : t -> t -> bool
+val pp : Config.t -> Format.formatter -> t -> unit

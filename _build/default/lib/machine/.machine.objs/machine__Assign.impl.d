@@ -1,0 +1,1 @@
+lib/machine/assign.ml: Array Format Isa

@@ -1,0 +1,1 @@
+lib/machine/assign.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Isa List Perms Random

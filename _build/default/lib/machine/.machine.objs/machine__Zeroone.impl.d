@@ -1,0 +1,1 @@
+lib/machine/zeroone.ml: Array Exec Isa List

@@ -1,0 +1,1 @@
+lib/machine/zeroone.mli: Isa

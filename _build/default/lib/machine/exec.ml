@@ -1,0 +1,51 @@
+type state = { regs : int array; mutable lt : bool; mutable gt : bool }
+
+let init cfg input =
+  if Array.length input <> cfg.Isa.Config.n then
+    invalid_arg "Exec.init: wrong input length";
+  {
+    regs = Array.append input (Array.make cfg.Isa.Config.m 0);
+    lt = false;
+    gt = false;
+  }
+
+let step st i =
+  let open Isa.Instr in
+  match i.op with
+  | Mov -> st.regs.(i.dst) <- st.regs.(i.src)
+  | Cmp ->
+      let a = st.regs.(i.dst) and b = st.regs.(i.src) in
+      st.lt <- a < b;
+      st.gt <- a > b
+  | Cmovl -> if st.lt then st.regs.(i.dst) <- st.regs.(i.src)
+  | Cmovg -> if st.gt then st.regs.(i.dst) <- st.regs.(i.src)
+
+let run cfg p input =
+  let st = init cfg input in
+  Array.iter (step st) p;
+  Array.sub st.regs 0 cfg.Isa.Config.n
+
+let output_correct ~input ~output =
+  Perms.is_sorted output && Perms.same_multiset input output
+
+let sorts_all_permutations cfg p =
+  List.for_all
+    (fun perm -> Perms.is_identity (run cfg p perm))
+    (Perms.all cfg.Isa.Config.n)
+
+let counterexample cfg p =
+  List.find_opt
+    (fun perm -> not (Perms.is_identity (run cfg p perm)))
+    (Perms.all cfg.Isa.Config.n)
+
+let sorts_random_suite cfg p ~seed ~cases ~lo ~hi =
+  let st = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to cases do
+    let input =
+      Array.init cfg.Isa.Config.n (fun _ -> lo + Random.State.int st (hi - lo + 1))
+    in
+    let output = run cfg p input in
+    if not (output_correct ~input ~output) then ok := false
+  done;
+  !ok

@@ -1,0 +1,40 @@
+(** Reference interpreter and correctness checking.
+
+    {!Assign} executes on packed small-domain codes; this module executes the
+    same ISA on arbitrary integer arrays. It serves three purposes: a slow
+    but obviously-correct oracle for property-testing the packed executor, a
+    way to run synthesized kernels on arbitrary inputs (e.g. the random
+    workloads of Section 5.3), and the checker for the paper's correctness
+    criterion (Eq. 1). *)
+
+type state = { regs : int array; mutable lt : bool; mutable gt : bool }
+(** Mutable machine state over native integers. [regs] has [n + m] cells. *)
+
+val init : Isa.Config.t -> int array -> state
+(** [init cfg input] loads [input] (length [n]) into the value registers,
+    zeroes the scratch registers and clears the flags. *)
+
+val step : state -> Isa.Instr.t -> unit
+(** Execute one instruction in place. *)
+
+val run : Isa.Config.t -> Isa.Program.t -> int array -> int array
+(** [run cfg p input] executes [p] on a fresh state and returns the final
+    value-register contents (length [n]). *)
+
+val output_correct : input:int array -> output:int array -> bool
+(** Eq. 1: the output is weakly ascending and is a rearrangement of the
+    input. *)
+
+val sorts_all_permutations : Isa.Config.t -> Isa.Program.t -> bool
+(** The paper's correctness procedure (Section 2.3): run the kernel on all
+    [n!] permutations of [1..n] and check each result is [1..n]. Sufficient
+    for correctness on arbitrary inputs because the ISA is constant-free. *)
+
+val counterexample : Isa.Config.t -> Isa.Program.t -> int array option
+(** First permutation of [1..n] (in lexicographic order) that the program
+    fails to sort, if any. Used as the oracle in CEGIS loops. *)
+
+val sorts_random_suite :
+  Isa.Config.t -> Isa.Program.t -> seed:int -> cases:int -> lo:int -> hi:int -> bool
+(** Fuzz check on [cases] random arrays with values in [lo..hi] (duplicates
+    allowed) — validates the constant-free argument empirically. *)

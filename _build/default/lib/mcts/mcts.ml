@@ -1,0 +1,176 @@
+type options = {
+  simulations : int;
+  exploration : float;
+  max_len : int;
+  rollout_depth : int;
+  length_penalty : float;
+  seed : int;
+}
+
+let default n =
+  {
+    simulations = 200_000;
+    exploration = 1.4;
+    max_len = 4 * (n * (n - 1) / 2 * 2);
+    rollout_depth = 12;
+    length_penalty = 0.01;
+    seed = 7;
+  }
+
+type result = {
+  best : Isa.Program.t option;
+  best_length : int option;
+  correct : bool;
+  simulations_run : int;
+  tree_nodes : int;
+  elapsed : float;
+}
+
+type node = {
+  state : Sstate.t;
+  depth : int;
+  mutable visits : int;
+  mutable total : float;
+  mutable children : (Isa.Instr.t * node) array;
+  mutable expanded : bool;
+}
+
+let sorted_fraction cfg s =
+  let codes = Sstate.codes s in
+  let sorted =
+    Array.fold_left
+      (fun a c -> if Machine.Assign.is_sorted cfg c then a + 1 else a)
+      0 codes
+  in
+  float_of_int sorted /. float_of_int (Array.length codes)
+
+let search ?opts n =
+  let t0 = Unix.gettimeofday () in
+  let opts = match opts with Some o -> o | None -> default n in
+  let cfg = Isa.Config.default n in
+  let instrs = Isa.Instr.all cfg in
+  let st = Random.State.make [| opts.seed |] in
+  let root =
+    {
+      state = Sstate.initial cfg;
+      depth = 0;
+      visits = 0;
+      total = 0.;
+      children = [||];
+      expanded = false;
+    }
+  in
+  let tree_nodes = ref 1 in
+  let best = ref None and best_len = ref max_int in
+  let note_solution program =
+    let len = Array.length program in
+    if len < !best_len then begin
+      best_len := len;
+      best := Some program
+    end
+  in
+  (* AlphaDev-shaped reward for a (possibly partial) terminal state. *)
+  let reward state len =
+    let frac = sorted_fraction cfg state in
+    let bonus = if Sstate.is_final cfg state then 1.0 else 0.0 in
+    frac +. bonus -. (opts.length_penalty *. float_of_int len)
+  in
+  let rollout state depth path =
+    (* Random playout; returns reward and records any solution found.
+       [path] and [prog] are most-recent-first throughout. *)
+    let s = ref state and d = ref depth in
+    let prog = ref path in
+    let steps = ref 0 in
+    while
+      (not (Sstate.is_final cfg !s))
+      && !steps < opts.rollout_depth
+      && !d < opts.max_len
+    do
+      let i = instrs.(Random.State.int st (Array.length instrs)) in
+      s := Sstate.apply cfg i !s;
+      prog := i :: !prog;
+      incr d;
+      incr steps
+    done;
+    if Sstate.is_final cfg !s then note_solution (Array.of_list (List.rev !prog));
+    reward !s !d
+  in
+  let expand nd =
+    nd.expanded <- true;
+    nd.children <-
+      Array.map
+        (fun i ->
+          incr tree_nodes;
+          ( i,
+            {
+              state = Sstate.apply cfg i nd.state;
+              depth = nd.depth + 1;
+              visits = 0;
+              total = 0.;
+              children = [||];
+              expanded = false;
+            } ))
+        instrs
+  in
+  let ucb parent (_, child) =
+    if child.visits = 0 then infinity
+    else
+      (child.total /. float_of_int child.visits)
+      +. opts.exploration
+         *. sqrt (log (float_of_int parent.visits) /. float_of_int child.visits)
+  in
+  let rec simulate nd path =
+    nd.visits <- nd.visits + 1;
+    if Sstate.is_final cfg nd.state then begin
+      note_solution (Array.of_list (List.rev path));
+      let r = reward nd.state nd.depth in
+      nd.total <- nd.total +. r;
+      r
+    end
+    else if nd.depth >= opts.max_len then begin
+      let r = reward nd.state nd.depth in
+      nd.total <- nd.total +. r;
+      r
+    end
+    else if not nd.expanded then begin
+      expand nd;
+      let i, child = nd.children.(Random.State.int st (Array.length nd.children)) in
+      child.visits <- child.visits + 1;
+      let r = rollout child.state child.depth (i :: path) in
+      child.total <- child.total +. r;
+      nd.total <- nd.total +. r;
+      r
+    end
+    else begin
+      let besti = ref 0 and bestu = ref neg_infinity in
+      Array.iteri
+        (fun k c ->
+          let u = ucb nd c in
+          if u > !bestu then begin
+            bestu := u;
+            besti := k
+          end)
+        nd.children;
+      let i, child = nd.children.(!besti) in
+      let r = simulate child (i :: path) in
+      nd.total <- nd.total +. r;
+      r
+    end
+  in
+  for _ = 1 to opts.simulations do
+    ignore (simulate root [])
+  done;
+  let best_prog = !best in
+  let correct =
+    match best_prog with
+    | Some p -> Machine.Exec.sorts_all_permutations cfg p
+    | None -> false
+  in
+  {
+    best = best_prog;
+    best_length = (match best_prog with Some p -> Some (Array.length p) | None -> None);
+    correct;
+    simulations_run = opts.simulations;
+    tree_nodes = !tree_nodes;
+    elapsed = Unix.gettimeofday () -. t0;
+  }

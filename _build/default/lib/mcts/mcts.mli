@@ -1,0 +1,35 @@
+(** Monte-Carlo tree search baseline (AlphaDev analogue, paper Section 5.2).
+
+    AlphaDev couples MCTS with a learned policy/value network on TPU
+    clusters; its code is not public, so this baseline reproduces the
+    search skeleton without the neural guidance: UCT selection over the
+    tandem synthesis state, random expansion and rollouts, and AlphaDev's
+    reward shape — correctness progress (how many register files are
+    sorted) minus a latency/length penalty. The paper's qualitative point —
+    that uninformed search needs orders of magnitude more resources than
+    the informed enumerative search — is what this module demonstrates. *)
+
+type options = {
+  simulations : int;
+  exploration : float;  (** UCB1 constant. *)
+  max_len : int;  (** Episode horizon. *)
+  rollout_depth : int;
+  length_penalty : float;
+  seed : int;
+}
+
+val default : int -> options
+(** Horizon from the sorting-network size; 200k simulations. *)
+
+type result = {
+  best : Isa.Program.t option;  (** Best complete sorting kernel found. *)
+  best_length : int option;
+  correct : bool;
+  simulations_run : int;
+  tree_nodes : int;
+  elapsed : float;
+}
+
+val search : ?opts:options -> int -> result
+(** Run MCTS for width [n]; any returned kernel is verified on all
+    permutations. *)

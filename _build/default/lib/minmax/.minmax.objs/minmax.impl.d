@@ -1,0 +1,1 @@
+lib/minmax/minmax.ml: Array Bool Isa List Perf Perms Printf Sortnet Sstate Unix Vexec Vinstr

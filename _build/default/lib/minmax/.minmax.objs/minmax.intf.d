@@ -1,0 +1,1 @@
+lib/minmax/minmax.mli: Perf Vexec Vinstr

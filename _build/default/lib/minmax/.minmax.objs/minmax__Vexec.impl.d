@@ -1,0 +1,1 @@
+lib/minmax/vexec.ml: Array Isa List Perms String Vinstr

@@ -1,0 +1,1 @@
+lib/minmax/vexec.mli: Isa Vinstr

@@ -1,0 +1,1 @@
+lib/minmax/vinstr.ml: Array Isa List Printf Stdlib

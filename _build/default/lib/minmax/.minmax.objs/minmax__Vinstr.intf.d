@@ -1,0 +1,1 @@
+lib/minmax/vinstr.mli: Isa

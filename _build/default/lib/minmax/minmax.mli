@@ -1,0 +1,48 @@
+module Vinstr : module type of Vinstr
+(** Re-export: the vector instruction set. *)
+
+module Vexec : module type of Vexec
+(** Re-export: packed-code and reference execution. *)
+
+(** Synthesis of min/max sorting kernels (paper, Section 5.4).
+
+    The same enumerative approach as the cmov search, specialized to the
+    three-instruction vector ISA: level-synchronous search over canonical
+    states (one packed assignment per input permutation), with state
+    deduplication, erasure viability, and the distinct-permutation cut. The
+    search space is small enough (optimal lengths 8, 15, 26 for n = 3..5)
+    that no distance table is needed. *)
+
+type options = {
+  cut : float option;  (** Perm-count cut factor [k]; [None] disables. *)
+  max_len : int option;
+  all_solutions : bool;
+  max_solutions : int;
+}
+
+val default : options
+(** Cut 1.0, no bound, first solution only. *)
+
+type result = {
+  programs : Vexec.program list;
+  optimal_length : int option;
+  solution_count : int;
+  expanded : int;
+  elapsed : float;
+}
+
+val synthesize : ?opts:options -> int -> result
+(** [synthesize n] searches for minimal min/max kernels for width [n] with
+    one scratch register. With [all_solutions] set, enumerates every
+    solution surviving the cut at the optimal length. *)
+
+val network_kernel : int -> Vexec.program
+(** The optimal sorting network compiled to 3-instruction compare-and-swaps
+    ([movdqa t x_i; pmin x_i x_j; pmax x_j t]) — sizes 9, 15, 27 for
+    n = 3..5. *)
+
+val paper_sort3 : Vexec.program
+(** The 8-instruction min/max kernel printed in Section 2.1 of the paper. *)
+
+val to_sorter : ?name:string -> int -> Vexec.program -> Perf.Compile.sorter
+(** Compile to a branch-free closure over [min]/[max] for benchmarking. *)

@@ -1,0 +1,1 @@
+lib/perf/baselines.ml: Array Bool Compile

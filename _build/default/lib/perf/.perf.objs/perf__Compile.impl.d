@@ -1,0 +1,1 @@
+lib/perf/compile.ml: Array Bool Isa List Perms Printf

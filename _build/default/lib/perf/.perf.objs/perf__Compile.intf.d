@@ -1,0 +1,1 @@
+lib/perf/compile.mli: Isa

@@ -1,0 +1,1 @@
+lib/perf/cost.ml: Array Float Hashtbl Isa List

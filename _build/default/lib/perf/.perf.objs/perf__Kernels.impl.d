@@ -1,0 +1,1 @@
+lib/perf/kernels.ml: Array Bool Compile Isa Sortnet

@@ -1,0 +1,1 @@
+lib/perf/kernels.mli: Compile Isa

@@ -1,0 +1,1 @@
+lib/perf/measure.ml: Array Compile List Unix Workload

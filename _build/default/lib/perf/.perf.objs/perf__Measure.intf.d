@@ -1,0 +1,1 @@
+lib/perf/measure.mli: Compile

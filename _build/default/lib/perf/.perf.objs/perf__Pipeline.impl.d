@@ -1,0 +1,1 @@
+lib/perf/pipeline.ml: Array Hashtbl Isa List

@@ -1,0 +1,1 @@
+lib/perf/workload.ml: Array Compile List Random

@@ -1,0 +1,73 @@
+let check_width n =
+  if n < 2 || n > 6 then invalid_arg "Baselines: width must be in 2..6"
+
+(* Branchy bubble passes with a temporary, directly in the buffer. For n=3
+   this is exactly the paper's "default": three conditionals and a temp. *)
+let default_ n =
+  check_width n;
+  let run a off =
+    for pass = n - 1 downto 1 do
+      for i = off to off + pass - 1 do
+        if a.(i) > a.(i + 1) then begin
+          let t = a.(i) in
+          a.(i) <- a.(i + 1);
+          a.(i + 1) <- t
+        end
+      done
+    done
+  in
+  { Compile.name = "default"; width = n; run }
+
+(* Rank each element by counting strictly-smaller elements (plus equal ones
+   appearing earlier, to spread duplicates), then store by rank. *)
+let branchless n =
+  check_width n;
+  let tmp = Array.make n 0 in
+  let run a off =
+    Array.blit a off tmp 0 n;
+    for i = 0 to n - 1 do
+      let v = tmp.(i) in
+      let rank = ref 0 in
+      for j = 0 to n - 1 do
+        let w = tmp.(j) in
+        rank :=
+          !rank
+          + Bool.to_int (w < v)
+          + Bool.to_int (w = v && j < i)
+      done;
+      a.(off + !rank) <- v
+    done
+  in
+  { Compile.name = "branchless"; width = n; run }
+
+(* Load into locals, conditional-swap the locals, store back. The local
+   min/max pairs are what C compilers turn into cmov sequences. *)
+let swap n =
+  check_width n;
+  let locals = Array.make n 0 in
+  let run a off =
+    Array.blit a off locals 0 n;
+    for pass = n - 1 downto 1 do
+      for i = 0 to pass - 1 do
+        let x = locals.(i) and y = locals.(i + 1) in
+        let lo = if x < y then x else y in
+        let hi = if x < y then y else x in
+        locals.(i) <- lo;
+        locals.(i + 1) <- hi
+      done
+    done;
+    Array.blit locals 0 a off n
+  in
+  { Compile.name = "swap"; width = n; run }
+
+let std n =
+  check_width n;
+  let tmp = Array.make n 0 in
+  let run a off =
+    Array.blit a off tmp 0 n;
+    Array.sort compare tmp;
+    Array.blit tmp 0 a off n
+  in
+  { Compile.name = "std"; width = n; run }
+
+let all n = [ default_ n; branchless n; swap n; std n ]

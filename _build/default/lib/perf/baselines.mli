@@ -1,0 +1,25 @@
+(** Handwritten baseline sorting routines (paper, Section 5.3).
+
+    These mirror the paper's C++/Rust contestants, reimplemented over the
+    same in-place array interface as the compiled kernels:
+
+    - [default_]: three conditionals and a temporary, swapping directly in
+      the buffer (branchy — the paper's slowest handwritten entry);
+    - [branchless]: rank computation by comparison arithmetic, then
+      scattered stores (no data-dependent branches);
+    - [swap]: loads into locals, conditionally swaps the locals, stores back
+      (what a compiler turns into cmov code — the paper's best handwritten
+      entry);
+    - [std]: the standard library's general-purpose sort on the slice (the
+      paper's [std::sort] stand-in).
+
+    All are available for widths 2..6. *)
+
+val default_ : int -> Compile.sorter
+val branchless : int -> Compile.sorter
+val swap : int -> Compile.sorter
+val std : int -> Compile.sorter
+
+val all : int -> Compile.sorter list
+(** The four baselines for a width. Raises [Invalid_argument] if the width
+    is outside 2..6. *)

@@ -1,0 +1,69 @@
+type sorter = { name : string; width : int; run : int array -> int -> unit }
+
+let kernel ?name cfg p =
+  let n = cfg.Isa.Config.n and m = cfg.Isa.Config.m in
+  let regs = Array.make (n + m) 0 in
+  let lt = ref 0 and gt = ref 0 in
+  (* Fold the program right-to-left into one closure chain: no dispatch at
+     run time, and conditional moves select via all-ones/all-zeros masks. *)
+  let step i rest =
+    let d = i.Isa.Instr.dst and s = i.Isa.Instr.src in
+    match i.Isa.Instr.op with
+    | Isa.Instr.Mov ->
+        fun () ->
+          regs.(d) <- regs.(s);
+          rest ()
+    | Isa.Instr.Cmp ->
+        fun () ->
+          let a = regs.(d) and b = regs.(s) in
+          lt := - (Bool.to_int (a < b));
+          gt := - (Bool.to_int (a > b));
+          rest ()
+    | Isa.Instr.Cmovl ->
+        fun () ->
+          let mask = !lt in
+          regs.(d) <- regs.(s) land mask lor (regs.(d) land lnot mask);
+          rest ()
+    | Isa.Instr.Cmovg ->
+        fun () ->
+          let mask = !gt in
+          regs.(d) <- regs.(s) land mask lor (regs.(d) land lnot mask);
+          rest ()
+  in
+  let body = Array.fold_right step p (fun () -> ()) in
+  let run a off =
+    Array.blit a off regs 0 n;
+    for i = n to n + m - 1 do
+      regs.(i) <- 0
+    done;
+    lt := 0;
+    gt := 0;
+    body ();
+    Array.blit regs 0 a off n
+  in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "kernel%d" n
+  in
+  { name; width = n; run }
+
+let verify sorter =
+  let ok = ref true in
+  let n = sorter.width in
+  List.iter
+    (fun p ->
+      let a = Array.copy p in
+      sorter.run a 0;
+      if not (Perms.is_identity a) then ok := false)
+    (Perms.all n);
+  (* Duplicates exercise the equal-flags path. *)
+  let dup = Array.make n 7 in
+  sorter.run dup 0;
+  if dup <> Array.make n 7 then ok := false;
+  (* Offset handling. *)
+  let off = Array.append [| 99 |] (Array.init n (fun i -> n - i)) in
+  sorter.run off 1;
+  if off.(0) <> 99 then ok := false;
+  for i = 1 to n do
+    if off.(i) <> i then ok := false
+  done;
+  !ok

@@ -1,0 +1,23 @@
+(** Compilation of kernels to branchless OCaml closures.
+
+    The paper embeds synthesized kernels as inline x86 assembly and measures
+    wall-clock time. Without an x86 target we compile each kernel to a chain
+    of OCaml closures over a preallocated register file, with conditional
+    moves implemented by bit masking (no branches) — so measured time scales
+    with instruction count and not with input-dependent branch prediction,
+    which is the defining property of these kernels. *)
+
+type sorter = {
+  name : string;
+  width : int;  (** Number of elements sorted per invocation. *)
+  run : int array -> int -> unit;
+      (** [run a off] sorts [a.(off) .. a.(off + width - 1)] in place. *)
+}
+
+val kernel : ?name:string -> Isa.Config.t -> Isa.Program.t -> sorter
+(** Compile a synthesized kernel. The returned closure reuses an internal
+    register buffer and is therefore not reentrant (no OCaml-level
+    parallelism in the benchmarks). *)
+
+val verify : sorter -> bool
+(** Check the sorter on every permutation of [1..width] plus duplicates. *)

@@ -1,0 +1,45 @@
+(** Static cost model for sorting kernels (uiCA / LLVM-MCA analogue).
+
+    The paper benchmarks synthesized kernels on x86 hardware and
+    cross-checks the measurements with the uiCA throughput predictor. This
+    reproduction has no x86 machine, so relative kernel performance is
+    predicted from the same ingredients those tools use: a per-instruction
+    latency/port table, the dependence structure (critical path), and
+    issue-width-limited throughput. The numbers are calibrated to a generic
+    modern out-of-order core (4-wide, Zen3/Skylake-era latencies); absolute
+    cycles are not meaningful, relative order is. *)
+
+type resource = {
+  latency : int;  (** Result-ready delay in cycles. *)
+  uops : int;  (** Micro-ops occupying issue slots. *)
+  ports : int;  (** Number of execution ports that can run it. *)
+}
+
+val resources : Isa.Instr.opcode -> resource
+(** [mov] is eliminated by renaming (latency 0) but still consumes a slot;
+    [cmp] and conditional moves have single-cycle latency. *)
+
+type analysis = {
+  instructions : int;
+  total_uops : int;
+  critical_path : int;
+      (** Longest latency-weighted dependence chain, in cycles. *)
+  throughput : float;
+      (** Predicted steady-state cycles per kernel invocation when
+          iterations are independent (port/issue limited). *)
+  latency_bound : float;
+      (** Cycles per invocation when iterations are dependent
+          (critical-path limited). *)
+}
+
+val analyze : Isa.Config.t -> Isa.Program.t -> analysis
+
+val dependence_edges : Isa.Config.t -> Isa.Program.t -> (int * int) list
+(** RAW dependence edges [(producer, consumer)] over registers and flags,
+    as used for the critical path. Write-after-write and write-after-read
+    hazards are ignored (register renaming removes them), matching the
+    paper's remark that moves "only influence register renaming". *)
+
+val predicted_cost : Isa.Config.t -> Isa.Program.t -> float
+(** Scalar used for ranking kernels: a weighted blend of throughput and
+    critical path. Lower is faster. *)

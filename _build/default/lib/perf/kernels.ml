@@ -1,0 +1,86 @@
+(* Section 2.1, middle column, with rax..rcx = r1..r3 and rdi = s1. *)
+let paper_sort3 =
+  let open Isa.Instr in
+  [|
+    mov 3 0; cmp 2 3; cmovl 3 2; cmovl 2 0;
+    cmp 1 2; mov 0 1; cmovg 1 2; cmovg 2 0;
+    cmp 0 3; cmovl 1 3; cmovg 0 3;
+  |]
+
+let network n = Sortnet.to_kernel (Isa.Config.default n) (Sortnet.optimal n)
+
+let alphadev n =
+  match n with
+  | 3 -> Compile.kernel ~name:"alphadev" (Isa.Config.default 3) paper_sort3
+  | 4 | 5 -> Compile.kernel ~name:"alphadev" (Isa.Config.default n) (network n)
+  | _ -> invalid_arg "Kernels.alphadev: width must be 3..5"
+
+let cassioneri =
+  Compile.kernel ~name:"cassioneri" (Isa.Config.default 3) (network 3)
+
+(* Unrolled, branch-free rank sorters: every element's output position is
+   computed with comparison arithmetic, mimicking a SIMD shuffle-and-store
+   kernel. Duplicates are broken by original index. *)
+let mimicry3 =
+  let run a off =
+    let x = a.(off) and y = a.(off + 1) and z = a.(off + 2) in
+    let rx = Bool.to_int (y < x) + Bool.to_int (z < x) in
+    let ry = Bool.to_int (x <= y) + Bool.to_int (z < y) in
+    let rz = Bool.to_int (x <= z) + Bool.to_int (y <= z) in
+    a.(off + rx) <- x;
+    a.(off + ry) <- y;
+    a.(off + rz) <- z
+  in
+  { Compile.name = "mimicry"; width = 3; run }
+
+let mimicry4 =
+  let run a off =
+    let w = a.(off) and x = a.(off + 1) and y = a.(off + 2) and z = a.(off + 3) in
+    let rw = Bool.to_int (x < w) + Bool.to_int (y < w) + Bool.to_int (z < w) in
+    let rx = Bool.to_int (w <= x) + Bool.to_int (y < x) + Bool.to_int (z < x) in
+    let ry = Bool.to_int (w <= y) + Bool.to_int (x <= y) + Bool.to_int (z < y) in
+    let rz = Bool.to_int (w <= z) + Bool.to_int (x <= z) + Bool.to_int (y <= z) in
+    a.(off + rw) <- w;
+    a.(off + rx) <- x;
+    a.(off + ry) <- y;
+    a.(off + rz) <- z
+  in
+  { Compile.name = "mimicry"; width = 4; run }
+
+let mimicry5 =
+  let run a off =
+    let v = a.(off) and w = a.(off + 1) and x = a.(off + 2) and y = a.(off + 3)
+    and z = a.(off + 4) in
+    let rv =
+      Bool.to_int (w < v) + Bool.to_int (x < v) + Bool.to_int (y < v)
+      + Bool.to_int (z < v)
+    in
+    let rw =
+      Bool.to_int (v <= w) + Bool.to_int (x < w) + Bool.to_int (y < w)
+      + Bool.to_int (z < w)
+    in
+    let rx =
+      Bool.to_int (v <= x) + Bool.to_int (w <= x) + Bool.to_int (y < x)
+      + Bool.to_int (z < x)
+    in
+    let ry =
+      Bool.to_int (v <= y) + Bool.to_int (w <= y) + Bool.to_int (x <= y)
+      + Bool.to_int (z < y)
+    in
+    let rz =
+      Bool.to_int (v <= z) + Bool.to_int (w <= z) + Bool.to_int (x <= z)
+      + Bool.to_int (y <= z)
+    in
+    a.(off + rv) <- v;
+    a.(off + rw) <- w;
+    a.(off + rx) <- x;
+    a.(off + ry) <- y;
+    a.(off + rz) <- z
+  in
+  { Compile.name = "mimicry"; width = 5; run }
+
+let mimicry = function
+  | 3 -> mimicry3
+  | 4 -> mimicry4
+  | 5 -> mimicry5
+  | _ -> invalid_arg "Kernels.mimicry: width must be 3..5"

@@ -1,0 +1,30 @@
+(** Named comparison kernels for the Section 5.3 evaluation tables.
+
+    The paper compares its enumerated kernels against AlphaDev's published
+    kernels, Cassio Neri's, Mimicry's SIMD routine, and sorting-network
+    implementations. The closed-source contenders are substituted as
+    follows (see DESIGN.md):
+
+    - [alphadev n]: for [n = 3], the 11-instruction kernel printed in the
+      paper's Section 2.1 (the same instruction-mix class as AlphaDev's
+      published sort3); for [n >= 4], the optimal sorting-network kernel —
+      AlphaDev's sort4 also has 20 instructions, the certified optimum.
+    - [cassioneri]: the optimal sorting-network compilation for [n = 3]
+      (identical instruction mix to Neri's published kernel). Not available
+      for [n = 4], as in the paper.
+    - [mimicry n]: a straight-line vectorized-style rank sorter (unrolled
+      min/max arithmetic, no ISA program), standing in for Mimicry's SIMD
+      shuffle kernel. *)
+
+val paper_sort3 : Isa.Program.t
+(** The synthesized 11-instruction cmov kernel printed in Section 2.1 of the
+    paper (one instruction shorter than the sorting-network kernel). *)
+
+val network : int -> Isa.Program.t
+(** Optimal sorting network compiled to cmov code ([4 * comparators]
+    instructions) for the default configuration of width [n]. *)
+
+val alphadev : int -> Compile.sorter
+val cassioneri : Compile.sorter
+val mimicry : int -> Compile.sorter
+(** Widths 3..5; raises [Invalid_argument] otherwise. *)

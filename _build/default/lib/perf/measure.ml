@@ -1,0 +1,62 @@
+let time_once iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let time_ns ?(warmup = 3) ~iters f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples = List.init 3 (fun _ -> time_once iters f) in
+  match List.sort compare samples with
+  | [ _; median; _ ] -> median
+  | _ -> assert false
+
+type row = { name : string; time_ns : float; rank : int }
+
+let rank_rows entries =
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) entries in
+  List.mapi (fun i (name, time_ns) -> { name; time_ns; rank = i + 1 }) sorted
+
+let standalone ?(seed = 42) ?(cases = 1000) ?(iters = 30) sorters =
+  match sorters with
+  | [] -> []
+  | first :: _ ->
+      let width = first.Compile.width in
+      let master =
+        Workload.random_batch ~seed ~cases ~width ~lo:(-10000) ~hi:10000
+      in
+      let work = Array.make (Array.length master) 0 in
+      let entries =
+        List.map
+          (fun s ->
+            if s.Compile.width <> width then
+              invalid_arg "Measure.standalone: mixed widths";
+            let run () =
+              Array.blit master 0 work 0 (Array.length master);
+              for c = 0 to cases - 1 do
+                s.Compile.run work (c * width)
+              done
+            in
+            (s.Compile.name, time_ns ~iters run))
+          sorters
+      in
+      rank_rows entries
+
+let embedded ?(seed = 42) ?(cases = 40) ?(max_len = 20000) algo sorters =
+  let inputs = Workload.random_lengths ~seed ~cases ~max_len in
+  let entries =
+    List.map
+      (fun s ->
+        let sort =
+          match algo with
+          | `Quicksort -> Workload.quicksort ~base:s
+          | `Mergesort -> Workload.mergesort ~base:s
+        in
+        let run () = List.iter (fun a -> sort (Array.copy a)) inputs in
+        (s.Compile.name, time_ns ~iters:3 run))
+      sorters
+  in
+  rank_rows entries

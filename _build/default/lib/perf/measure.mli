@@ -1,0 +1,33 @@
+(** Wall-clock micro-benchmark harness for the Section 5.3 tables.
+
+    Bechamel drives the headline benchmarks in [bench/]; this lightweight
+    harness is what the experiment runners use to rank thousands of kernels
+    (the paper benchmarks all 5602 solutions for n = 3) where a full
+    Bechamel run per kernel would be prohibitive. *)
+
+val time_ns : ?warmup:int -> iters:int -> (unit -> unit) -> float
+(** Median-of-three timing of [iters] calls; returns nanoseconds per call. *)
+
+type row = {
+  name : string;
+  time_ns : float;
+  rank : int;  (** 1-based rank by ascending time among the measured set. *)
+}
+
+val rank_rows : (string * float) list -> row list
+(** Sort by time and attach ranks. *)
+
+val standalone :
+  ?seed:int -> ?cases:int -> ?iters:int -> Compile.sorter list -> row list
+(** Time each sorter over the same batch of random width-sized arrays
+    (values in the paper's [-10000, 10000] range), ranked. *)
+
+val embedded :
+  ?seed:int ->
+  ?cases:int ->
+  ?max_len:int ->
+  [ `Quicksort | `Mergesort ] ->
+  Compile.sorter list ->
+  row list
+(** Time each sorter as the base case of quicksort/mergesort over random
+    arrays of random lengths (paper: up to 20000 elements), ranked. *)

@@ -1,0 +1,38 @@
+(** Cycle-level out-of-order pipeline simulation (uiCA analogue).
+
+    {!Cost.analyze} gives closed-form throughput/latency estimates; this
+    module actually schedules instructions cycle by cycle on a model core —
+    fetch/issue width, a finite reorder window, per-port execution units,
+    and full RAW dependence tracking through registers and flags, with
+    zero-latency move elimination. Simulating [iterations] back-to-back
+    kernel invocations on independent data exposes steady-state throughput
+    the way uiCA reports it; the paper uses exactly such predictions to
+    explain why its synthesized min/max kernels beat the network kernels
+    (better dependence structure, more instruction-level parallelism). *)
+
+type core = {
+  issue_width : int;  (** Instructions issued per cycle. *)
+  window : int;  (** Reorder-buffer size. *)
+  cmov_ports : int;  (** Units able to execute conditional moves. *)
+  alu_ports : int;  (** Units able to execute [cmp] (and cmovs). *)
+}
+
+val default_core : core
+(** 4-wide, 64-entry window, 2 cmov ports, 4 ALU ports — a generic
+    Zen3/Skylake-class core. *)
+
+type report = {
+  cycles : int;  (** Total cycles for all iterations. *)
+  ipc : float;  (** Retired instructions per cycle. *)
+  cycles_per_iteration : float;  (** Steady-state throughput. *)
+  bottleneck : string;  (** ["issue"], ["cmov-ports"], or ["latency"]. *)
+}
+
+val run : ?core:core -> ?iterations:int -> Isa.Config.t -> Isa.Program.t -> report
+(** Simulate [iterations] (default 100) independent invocations of the
+    kernel. *)
+
+val compare_kernels :
+  ?core:core -> Isa.Config.t -> (string * Isa.Program.t) list -> (string * report) list
+(** Convenience: simulate several kernels on the same core, preserving
+    order. *)

@@ -1,0 +1,111 @@
+let random_batch ~seed ~cases ~width ~lo ~hi =
+  let st = Random.State.make [| seed |] in
+  Array.init (cases * width) (fun _ -> lo + Random.State.int st (hi - lo + 1))
+
+let random_lengths ~seed ~cases ~max_len =
+  let st = Random.State.make [| seed |] in
+  List.init cases (fun _ ->
+      let len = 1 + Random.State.int st max_len in
+      Array.init len (fun _ -> Random.State.int st 20001 - 10000))
+
+let insertion_sort a ~lo ~hi =
+  for i = lo + 1 to hi do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
+
+let quicksort ~base a =
+  let w = base.Compile.width in
+  let rec sort lo hi =
+    let len = hi - lo + 1 in
+    if len > w then begin
+      (* Median-of-three pivot, Hoare partition. *)
+      let mid = lo + ((hi - lo) / 2) in
+      let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+      let pivot = max (min x y) (min (max x y) z) in
+      let i = ref (lo - 1) and j = ref (hi + 1) in
+      let continue = ref true in
+      let cut = ref lo in
+      while !continue do
+        incr i;
+        while a.(!i) < pivot do
+          incr i
+        done;
+        decr j;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i >= !j then begin
+          cut := !j;
+          continue := false
+        end
+        else begin
+          let t = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- t
+        end
+      done;
+      sort lo !cut;
+      sort (!cut + 1) hi
+    end
+    else if len = w then base.Compile.run a lo
+    else if len > 1 then insertion_sort a ~lo ~hi
+  in
+  if Array.length a > 1 then sort 0 (Array.length a - 1)
+
+let mergesort ~base a =
+  let n = Array.length a in
+  let w = base.Compile.width in
+  (* Base blocks. *)
+  let i = ref 0 in
+  while !i < n do
+    let hi = min (!i + w) n in
+    if hi - !i = w then base.Compile.run a !i
+    else insertion_sort a ~lo:!i ~hi:(hi - 1);
+    i := !i + w
+  done;
+  (* Bottom-up merging. *)
+  let buf = Array.make n 0 in
+  let width = ref w in
+  let src = ref a and dst = ref buf in
+  while !width < n do
+    let s = !src and d = !dst in
+    let lo = ref 0 in
+    while !lo < n do
+      let mid = min (!lo + !width) n in
+      let hi = min (!lo + (2 * !width)) n in
+      let i = ref !lo and j = ref mid and k = ref !lo in
+      while !i < mid && !j < hi do
+        if s.(!i) <= s.(!j) then begin
+          d.(!k) <- s.(!i);
+          incr i
+        end
+        else begin
+          d.(!k) <- s.(!j);
+          incr j
+        end;
+        incr k
+      done;
+      while !i < mid do
+        d.(!k) <- s.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < hi do
+        d.(!k) <- s.(!j);
+        incr j;
+        incr k
+      done;
+      lo := hi
+    done;
+    let t = !src in
+    src := !dst;
+    dst := t;
+    width := !width * 2
+  done;
+  if !src != a then Array.blit !src 0 a 0 n

@@ -1,0 +1,28 @@
+(** Workloads for kernel benchmarking (paper, Section 5.3).
+
+    Standalone: batches of random fixed-width arrays. Embedded: quicksort
+    and mergesort over variable-length random arrays, recursing down to the
+    kernel width and invoking the kernel as the base case — the "natural"
+    embedding the paper uses. *)
+
+val random_batch :
+  seed:int -> cases:int -> width:int -> lo:int -> hi:int -> int array
+(** Flat batch of [cases] arrays of [width] values in [lo..hi], packed
+    back to back (case [i] starts at [i * width]). *)
+
+val random_lengths : seed:int -> cases:int -> max_len:int -> int array list
+(** Random arrays of random lengths in [1 .. max_len], values spanning the
+    paper's [-10000, 10000] range. *)
+
+val quicksort : base:Compile.sorter -> int array -> unit
+(** In-place quicksort (Hoare partition, median-of-three pivot) that hands
+    every segment of length [<= base.width] to the kernel; segments shorter
+    than the kernel width are finished by insertion. *)
+
+val mergesort : base:Compile.sorter -> int array -> unit
+(** Bottom-up mergesort whose initial blocks of [base.width] elements are
+    sorted by the kernel. *)
+
+val insertion_sort : int array -> lo:int -> hi:int -> unit
+(** In-place insertion sort on [a.(lo) .. a.(hi)] (inclusive); exposed for
+    tests. *)

@@ -1,0 +1,120 @@
+let factorial n =
+  if n < 0 then invalid_arg "Perms.factorial: negative";
+  if n > 20 then invalid_arg "Perms.factorial: would overflow";
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 n
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok
+
+let is_identity a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> i + 1 then ok := false
+  done;
+  !ok
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make (n + 1) false in
+  let ok = ref true in
+  Array.iter
+    (fun v -> if v < 1 || v > n || seen.(v) then ok := false else seen.(v) <- true)
+    a;
+  !ok
+
+(* Lexicographic successor in place; false when [a] was the last one. *)
+let next_in_place a =
+  let n = Array.length a in
+  let i = ref (n - 2) in
+  while !i >= 0 && a.(!i) >= a.(!i + 1) do decr i done;
+  if !i < 0 then false
+  else begin
+    let j = ref (n - 1) in
+    while a.(!j) <= a.(!i) do decr j done;
+    let t = a.(!i) in
+    a.(!i) <- a.(!j);
+    a.(!j) <- t;
+    let lo = ref (!i + 1) and hi = ref (n - 1) in
+    while !lo < !hi do
+      let t = a.(!lo) in
+      a.(!lo) <- a.(!hi);
+      a.(!hi) <- t;
+      incr lo;
+      decr hi
+    done;
+    true
+  end
+
+let all n =
+  if n < 0 then invalid_arg "Perms.all: negative";
+  if n > 10 then invalid_arg "Perms.all: n too large";
+  let a = Array.init n (fun i -> i + 1) in
+  let acc = ref [ Array.copy a ] in
+  while next_in_place a do
+    acc := Array.copy a :: !acc
+  done;
+  List.rev !acc
+
+let rank p =
+  if not (is_permutation p) then invalid_arg "Perms.rank: not a permutation";
+  let n = Array.length p in
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    let smaller = ref 0 in
+    for j = i + 1 to n - 1 do
+      if p.(j) < p.(i) then incr smaller
+    done;
+    r := !r + (!smaller * factorial (n - 1 - i))
+  done;
+  !r
+
+let unrank n r =
+  if n < 0 then invalid_arg "Perms.unrank: negative n";
+  if r < 0 || r >= factorial n then invalid_arg "Perms.unrank: rank out of range";
+  let avail = ref (List.init n (fun i -> i + 1)) in
+  let r = ref r in
+  Array.init n (fun i ->
+      let f = factorial (n - 1 - i) in
+      let k = !r / f in
+      r := !r mod f;
+      let v = List.nth !avail k in
+      avail := List.filter (fun x -> x <> v) !avail;
+      v)
+
+let inversions p =
+  let n = Array.length p in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if p.(i) > p.(j) then incr c
+    done
+  done;
+  !c
+
+let apply p a =
+  if Array.length p <> Array.length a then
+    invalid_arg "Perms.apply: length mismatch";
+  Array.init (Array.length a) (fun i -> a.(p.(i) - 1))
+
+let random st n =
+  let a = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let same_multiset a b =
+  Array.length a = Array.length b
+  &&
+  let sa = Array.copy a and sb = Array.copy b in
+  Array.sort compare sa;
+  Array.sort compare sb;
+  sa = sb

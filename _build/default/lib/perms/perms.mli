@@ -1,0 +1,51 @@
+(** Permutations of [1..n].
+
+    The synthesis state tracks one register assignment per input permutation
+    of [1..n] (paper, Section 2.3): a kernel without constants is correct on
+    all inputs iff it sorts every permutation of [n] distinct values. This
+    module provides generation, ranking and basic statistics over those
+    permutations. *)
+
+val factorial : int -> int
+(** [factorial n] is [n!]. Raises [Invalid_argument] for negative [n] or when
+    the result would overflow a 63-bit integer ([n > 20]). *)
+
+val all : int -> int array list
+(** [all n] lists every permutation of [1; ...; n] in lexicographic order.
+    [all 0] is [[ [||] ]]. Raises [Invalid_argument] for [n < 0] or [n > 10]
+    (guard against accidental exponential blowups). *)
+
+val is_sorted : int array -> bool
+(** [is_sorted a] is true iff [a] is weakly ascending. *)
+
+val is_identity : int array -> bool
+(** [is_identity a] is true iff [a.(i) = i + 1] for all [i], i.e. [a] is the
+    sorted permutation of [1..n]. *)
+
+val is_permutation : int array -> bool
+(** [is_permutation a] is true iff [a] contains each of [1..length a] exactly
+    once. *)
+
+val rank : int array -> int
+(** [rank p] is the lexicographic index (Lehmer code) of permutation [p]
+    among all permutations of [1..n], starting at 0. Raises
+    [Invalid_argument] if [p] is not a permutation of [1..n]. *)
+
+val unrank : int -> int -> int array
+(** [unrank n r] is the permutation of [1..n] with lexicographic rank [r].
+    Inverse of {!rank}. Raises [Invalid_argument] if [r] is out of range. *)
+
+val inversions : int array -> int
+(** [inversions p] counts pairs [i < j] with [p.(i) > p.(j)]; 0 iff sorted. *)
+
+val apply : int array -> 'a array -> 'a array
+(** [apply p a] permutes [a] by [p]: result index [i] holds [a.(p.(i) - 1)].
+    Raises [Invalid_argument] on length mismatch. *)
+
+val random : Random.State.t -> int -> int array
+(** [random st n] draws a uniformly random permutation of [1..n] via
+    Fisher-Yates using the given PRNG state. *)
+
+val same_multiset : int array -> int array -> bool
+(** [same_multiset a b] is true iff [b] is a rearrangement of [a]. This is
+    the "same elements" half of the paper's correctness criterion (Eq. 1). *)

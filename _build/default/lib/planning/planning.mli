@@ -1,0 +1,55 @@
+(** Synthesis as classical planning (paper, Section 5.2 "Planning").
+
+    Following the paper's formulation, every input permutation's register
+    file is encoded into one planning state, each ISA instruction is a
+    ground action transforming all of them in tandem, and the goal is the
+    conjunction "every register file sorted". {!Planner} is a forward
+    state-space planner offering the heuristic menu of the planners the
+    paper ran (blind search; goal counting as in LAMA's landmark counting;
+    a pattern-database-style lower bound from single-assignment distances,
+    as in Scorpion):
+
+    - [Blind] — uniform-cost search (the Plan-Parallel baseline);
+    - [Goal_count] — number of still-unsorted register files;
+    - [Pdb] — [max] over files of the precomputed distance-to-sorted.
+
+    {!Pddl} renders the same domain as PDDL text (with conditional
+    effects), matching the artifact the paper ships; it documents the
+    encoding and allows the instances to be fed to external planners. *)
+
+module Planner : sig
+  type heuristic = Blind | Goal_count | Pdb
+
+  type strategy =
+    | Uniform  (** Dijkstra over unit costs. *)
+    | Greedy  (** Order by [h] only (LAMA's greedy best-first). *)
+    | Wastar of int  (** [f = g + w * h]. *)
+
+  type result = {
+    plan : Isa.Program.t option;
+    expanded : int;
+    generated : int;
+    elapsed : float;
+  }
+
+  val solve :
+    ?heuristic:heuristic ->
+    ?strategy:strategy ->
+    ?max_expansions:int ->
+    ?max_len:int ->
+    int ->
+    result
+  (** [solve n] plans a sorting kernel for width [n]. Any returned plan is
+      verified on all permutations. [max_expansions] bounds the search
+      (planner "memory/time" budget). *)
+end
+
+module Pddl : sig
+  val domain : Isa.Config.t -> string
+  (** PDDL domain with one action per ISA opcode, conditional effects over
+      tandem register predicates (the Plan-Parallel encoding). *)
+
+  val problem : Isa.Config.t -> string
+  (** PDDL problem instance: initial tandem state for all permutations of
+      [1..n] and the sorted-goal conjunction. *)
+end

@@ -1,0 +1,1 @@
+lib/search/search.ml: Array Distance Domain Heap Isa List Machine Sstate Unix

@@ -1,0 +1,1 @@
+lib/search/search.mli: Heap Isa

@@ -1,0 +1,158 @@
+module Heap : module type of Heap
+(** Re-export: the binary min-heap used by the A* engine. *)
+
+(** Enumerative synthesis of sorting kernels (the paper's core contribution,
+    Section 3).
+
+    The search explores the graph whose vertices are canonical synthesis
+    states ({!Sstate.t}) and whose edges are ISA instructions. Two engines
+    are provided:
+
+    - {!Level_sync} processes states level by level (Dijkstra on the unit-
+      cost graph). The first level containing a final state is the optimal
+      program length; the engine can enumerate {e all} optimal solutions and
+      prove non-existence up to a length bound, which is how the paper
+      establishes its new tight lower bound of 20 for [n = 4].
+    - {!Astar} is best-first on [f = g + h] and is the fast path for finding
+      one (or a few) kernels.
+
+    Both engines share the paper's pruning arsenal: state deduplication
+    (Section 3.6), compare-operand symmetry (Section 3.2), erasure and
+    distance-budget viability (Section 3.3), the optimal-action filter
+    (Section 3.2), and the non-optimality-preserving perm-count cut
+    (Section 3.5). *)
+
+type heuristic =
+  | No_heuristic  (** [h = 0]: plain Dijkstra ordering. *)
+  | Perm_count
+      (** Number of distinct value-register projections minus one — the
+          paper's best-performing guidance (Section 3.1). Not admissible. *)
+  | Assign_count
+      (** Number of distinct full assignments minus one. Not admissible. *)
+  | Dist_bound
+      (** [max] over assignments of the precomputed single-assignment
+          distance (Section 3.1). Admissible, so A* stays optimal. *)
+
+type cut =
+  | No_cut
+  | Mult of float
+      (** [Mult k]: discard a state at level [l] whose distinct-permutation
+          count exceeds [k *] the minimum over the surviving states at level
+          [l - 1] (Section 3.5). [Mult 1.0] is the most aggressive setting;
+          [Mult 2.0] empirically preserves all optimal solutions. *)
+  | Add of int
+      (** [Add d]: additive variant — discard when the count exceeds the
+          previous level's minimum plus [d] (the "+2" row of the ablation
+          table). *)
+
+type action_filter =
+  | All_actions
+  | Optimal_guided
+      (** Only instructions that begin an optimal sorting sequence for at
+          least one assignment in the state (Section 3.2). Not
+          optimality-preserving. *)
+
+type engine = Astar | Level_sync
+
+type mode =
+  | Find_first  (** Stop at the first final state. *)
+  | All_optimal
+      (** Explore every level up to the optimal length and enumerate all
+          surviving solutions. *)
+  | Prove_none of int
+      (** [Prove_none l]: exhaust all levels up to and including [l]; used
+          to certify that no kernel of length [<= l] exists. *)
+
+type options = {
+  engine : engine;
+  heuristic : heuristic;
+  h_weight : float;
+      (** Multiplier on the heuristic in [f = g + w * h]. [1.0] reproduces
+          plain A*; values below 1 trade speed for shorter kernels when the
+          heuristic is inadmissible (useful for [n = 5], where the
+          permutation count dwarfs the program length). *)
+  cut : cut;
+  action_filter : action_filter;
+  erasure_check : bool;  (** Prune states that erased a value (Sec. 3.3). *)
+  dist_viability : bool;
+      (** Prune states whose distance lower bound exceeds the remaining
+          budget (requires a length bound to bite; always prunes dead
+          assignments). *)
+  dedup : bool;  (** Deduplicate states across the whole search (Sec. 3.6). *)
+  max_len : int option;  (** Initial length bound, if known. *)
+  max_solutions : int;
+      (** Cap on reconstructed programs in [All_optimal] mode (the exact
+          count is always reported; only reconstruction is capped). *)
+  trace_every : int option;
+      (** Sample the timeline (Figure 1) every this many expansions. *)
+}
+
+val default : options
+(** [Astar], no heuristic, no cut, all actions, both viability checks,
+    dedup on, no bound. *)
+
+val best : options
+(** The paper's best configuration (III): A* with the perm-count heuristic,
+    optimal-action filter, distance viability, and [Mult 1.0] cut. *)
+
+val best_preserving : options
+(** Configuration (II) plus [Mult 2.0]: fast while empirically preserving
+    all optimal solutions. *)
+
+type trace_point = {
+  t : float;  (** Seconds since the search started. *)
+  open_states : int;
+  solutions_found : int;
+}
+
+type stats = {
+  expanded : int;  (** States popped / processed. *)
+  generated : int;  (** Successor states built. *)
+  deduped : int;  (** Successors dropped as already seen. *)
+  pruned_cut : int;
+  pruned_viability : int;
+  pruned_bound : int;
+  max_open : int;
+  elapsed : float;
+  timeline : trace_point list;  (** Oldest first. *)
+}
+
+type result = {
+  programs : Isa.Program.t list;
+      (** Solutions, shortest first. Singleton in [Find_first] mode; up to
+          [max_solutions] in [All_optimal] mode; empty if none exists within
+          the bound. *)
+  optimal_length : int option;
+      (** Length of the found solutions. In [Level_sync] mode this is
+          certified minimal; in [Astar] mode it is minimal when the
+          heuristic is admissible. *)
+  solution_count : int;
+      (** Total number of distinct solution programs surviving the pruning
+          configuration (path count through the deduplicated state graph),
+          even beyond [max_solutions]. *)
+  distinct_final_states : int;
+  stats : stats;
+}
+
+val run : ?opts:options -> Isa.Config.t -> result
+(** Synthesize sorting kernels for [cfg]. In [Find_first] mode, returns as
+    soon as a correct kernel is found. *)
+
+val run_mode : ?opts:options -> mode:mode -> Isa.Config.t -> result
+
+val run_parallel :
+  ?opts:options -> ?domains:int -> ?mode:mode -> Isa.Config.t -> result
+(** Level-synchronous search with each level expanded by [domains] worker
+    domains (the paper's parallel Dijkstra; Section 3.1 notes the approach
+    "is parallelizable as we can process all programs of a certain length
+    in parallel"). Successor generation and pruning run in the workers;
+    deduplication merges sequentially. In [All_optimal] mode this engine
+    reports one representative program per distinct final state (it does
+    not count path multiplicities — use {!run_mode} for exact solution
+    counts). *)
+
+val synthesize : ?opts:options -> int -> Isa.Program.t option
+(** [synthesize n] finds one sorting kernel for arrays of length [n] with
+    the default scratch-register count, using {!best} options unless
+    overridden. The result is verified on all [n!] permutations before being
+    returned. *)

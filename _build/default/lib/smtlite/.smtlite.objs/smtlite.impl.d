@@ -1,0 +1,1 @@
+lib/smtlite/smtlite.ml: Array Isa List Machine Perms Sat Unix Vmodel

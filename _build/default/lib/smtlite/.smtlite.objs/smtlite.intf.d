@@ -1,0 +1,1 @@
+lib/smtlite/smtlite.mli: Isa Vmodel

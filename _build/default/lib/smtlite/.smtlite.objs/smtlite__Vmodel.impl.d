@@ -1,0 +1,1 @@
+lib/smtlite/vmodel.ml: Array Isa List Minmax Perms Sat Unix

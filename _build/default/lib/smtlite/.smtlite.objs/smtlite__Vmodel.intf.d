@@ -1,0 +1,1 @@
+lib/smtlite/vmodel.mli: Minmax

@@ -1,0 +1,251 @@
+module Vmodel = Vmodel
+
+type goal = Goal_exact | Goal_ascending_present
+
+type heuristics = { no_consecutive_cmp : bool; first_is_cmp : bool }
+
+let no_heuristics = { no_consecutive_cmp = false; first_is_cmp = false }
+let default_heuristics = { no_consecutive_cmp = true; first_is_cmp = false }
+
+type outcome = Found of Isa.Program.t | Unsat_length | Budget_exhausted
+
+type result = {
+  outcome : outcome;
+  elapsed : float;
+  sat_conflicts : int;
+  cegis_iterations : int;
+  encoded_inputs : int;
+}
+
+(* One encoded synthesis problem. Instruction-choice variables are shared;
+   each added input permutation gets its own state variables and transition
+   clauses, which is what makes the CEGIS loop incremental. *)
+type enc = {
+  solver : Sat.t;
+  cfg : Isa.Config.t;
+  len : int;
+  instrs : Isa.Instr.t array;
+  ins : int array array; (* ins.(t).(i) — choice variable *)
+  goal : goal;
+  mutable inputs : int; (* number of encoded permutations *)
+}
+
+let exactly_one solver vars =
+  Sat.add_clause solver vars;
+  let n = List.length vars in
+  let arr = Array.of_list vars in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Sat.add_clause solver [ -arr.(i); -arr.(j) ]
+    done
+  done
+
+let create ?(goal = Goal_exact) ?(heuristics = default_heuristics) cfg len =
+  let solver = Sat.create () in
+  let instrs = Isa.Instr.all cfg in
+  let ni = Array.length instrs in
+  let ins =
+    Array.init len (fun _ -> Array.init ni (fun _ -> Sat.new_var solver))
+  in
+  Array.iter (fun row -> exactly_one solver (Array.to_list row)) ins;
+  if heuristics.no_consecutive_cmp then
+    for t = 0 to len - 2 do
+      Array.iteri
+        (fun i a ->
+          if a.Isa.Instr.op = Isa.Instr.Cmp then
+            Array.iteri
+              (fun j b ->
+                if b.Isa.Instr.op = Isa.Instr.Cmp then
+                  Sat.add_clause solver [ -ins.(t).(i); -ins.(t + 1).(j) ])
+              instrs)
+        instrs
+    done;
+  if heuristics.first_is_cmp && len > 0 then
+    Sat.add_clause solver
+      (Array.to_list
+         (Array.of_list
+            (List.filteri
+               (fun i _ -> instrs.(i).Isa.Instr.op = Isa.Instr.Cmp)
+               (Array.to_list ins.(0)))));
+  { solver; cfg; len; instrs; ins; goal; inputs = 0 }
+
+(* Encode the state evolution of one concrete input permutation. *)
+let add_input enc perm =
+  let s = enc.solver in
+  let cfg = enc.cfg in
+  let n = cfg.Isa.Config.n in
+  let k = Isa.Config.nregs cfg in
+  let dom = n + 1 in
+  (* reg.(t).(r).(v), lt.(t), gt.(t) *)
+  let reg =
+    Array.init (enc.len + 1) (fun _ ->
+        Array.init k (fun _ -> Array.init dom (fun _ -> Sat.new_var s)))
+  in
+  let lt = Array.init (enc.len + 1) (fun _ -> Sat.new_var s) in
+  let gt = Array.init (enc.len + 1) (fun _ -> Sat.new_var s) in
+  for t = 0 to enc.len do
+    for r = 0 to k - 1 do
+      exactly_one s (Array.to_list reg.(t).(r))
+    done
+  done;
+  (* Initial state. *)
+  for r = 0 to k - 1 do
+    let v = if r < n then perm.(r) else 0 in
+    Sat.add_clause s [ reg.(0).(r).(v) ]
+  done;
+  Sat.add_clause s [ -lt.(0) ];
+  Sat.add_clause s [ -gt.(0) ];
+  (* Transitions. *)
+  for t = 0 to enc.len - 1 do
+    Array.iteri
+      (fun idx instr ->
+        let i = enc.ins.(t).(idx) in
+        let frame_reg r =
+          for v = 0 to dom - 1 do
+            Sat.add_clause s [ -i; -reg.(t).(r).(v); reg.(t + 1).(r).(v) ]
+          done
+        in
+        let frame_flags () =
+          Sat.add_clause s [ -i; -lt.(t); lt.(t + 1) ];
+          Sat.add_clause s [ -i; lt.(t); -lt.(t + 1) ];
+          Sat.add_clause s [ -i; -gt.(t); gt.(t + 1) ];
+          Sat.add_clause s [ -i; gt.(t); -gt.(t + 1) ]
+        in
+        let d = instr.Isa.Instr.dst and src = instr.Isa.Instr.src in
+        match instr.Isa.Instr.op with
+        | Isa.Instr.Mov ->
+            for r = 0 to k - 1 do
+              if r <> d then frame_reg r
+            done;
+            frame_flags ();
+            for v = 0 to dom - 1 do
+              Sat.add_clause s [ -i; -reg.(t).(src).(v); reg.(t + 1).(d).(v) ]
+            done
+        | Isa.Instr.Cmp ->
+            for r = 0 to k - 1 do
+              frame_reg r
+            done;
+            for va = 0 to dom - 1 do
+              for vb = 0 to dom - 1 do
+                let base = [ -i; -reg.(t).(d).(va); -reg.(t).(src).(vb) ] in
+                Sat.add_clause s
+                  ((if va < vb then lt.(t + 1) else -lt.(t + 1)) :: base);
+                Sat.add_clause s
+                  ((if va > vb then gt.(t + 1) else -gt.(t + 1)) :: base)
+              done
+            done
+        | Isa.Instr.Cmovl ->
+            for r = 0 to k - 1 do
+              if r <> d then frame_reg r
+            done;
+            frame_flags ();
+            for v = 0 to dom - 1 do
+              Sat.add_clause s
+                [ -i; -lt.(t); -reg.(t).(src).(v); reg.(t + 1).(d).(v) ];
+              Sat.add_clause s
+                [ -i; lt.(t); -reg.(t).(d).(v); reg.(t + 1).(d).(v) ]
+            done
+        | Isa.Instr.Cmovg ->
+            for r = 0 to k - 1 do
+              if r <> d then frame_reg r
+            done;
+            frame_flags ();
+            for v = 0 to dom - 1 do
+              Sat.add_clause s
+                [ -i; -gt.(t); -reg.(t).(src).(v); reg.(t + 1).(d).(v) ];
+              Sat.add_clause s
+                [ -i; gt.(t); -reg.(t).(d).(v); reg.(t + 1).(d).(v) ]
+            done)
+      enc.instrs
+  done;
+  (* Goal. *)
+  (match enc.goal with
+  | Goal_exact ->
+      for r = 0 to n - 1 do
+        Sat.add_clause s [ reg.(enc.len).(r).(r + 1) ]
+      done
+  | Goal_ascending_present ->
+      (* Ascending: forbid out-of-order adjacent pairs. *)
+      for r = 0 to n - 2 do
+        for va = 0 to dom - 1 do
+          for vb = 0 to dom - 1 do
+            if va > vb then
+              Sat.add_clause s
+                [ -reg.(enc.len).(r).(va); -reg.(enc.len).(r + 1).(vb) ]
+          done
+        done
+      done;
+      (* Every value 1..n appears in some value register. *)
+      for v = 1 to n do
+        Sat.add_clause s
+          (List.init n (fun r -> reg.(enc.len).(r).(v)))
+      done);
+  enc.inputs <- enc.inputs + 1
+
+let decode enc model =
+  Array.init enc.len (fun t ->
+      let rec find i =
+        if i >= Array.length enc.instrs then
+          failwith "Smtlite.decode: no instruction selected"
+        else if model.(enc.ins.(t).(i)) then enc.instrs.(i)
+        else find (i + 1)
+      in
+      find 0)
+
+let mk_result outcome start solver iters inputs =
+  {
+    outcome;
+    elapsed = Unix.gettimeofday () -. start;
+    sat_conflicts = Sat.stats_conflicts solver;
+    cegis_iterations = iters;
+    encoded_inputs = inputs;
+  }
+
+let synth_perm ?goal ?heuristics ?(conflict_limit = max_int) ~len n =
+  let start = Unix.gettimeofday () in
+  let cfg = Isa.Config.default n in
+  let enc = create ?goal ?heuristics cfg len in
+  List.iter (add_input enc) (Perms.all n);
+  match Sat.solve ~conflict_limit enc.solver with
+  | None -> mk_result Budget_exhausted start enc.solver 1 enc.inputs
+  | Some Sat.Unsat -> mk_result Unsat_length start enc.solver 1 enc.inputs
+  | Some (Sat.Sat model) ->
+      let p = decode enc model in
+      assert (Machine.Exec.sorts_all_permutations cfg p);
+      mk_result (Found p) start enc.solver 1 enc.inputs
+
+let synth_cegis ?goal ?heuristics ?(conflict_limit = max_int) ~len n =
+  let start = Unix.gettimeofday () in
+  let cfg = Isa.Config.default n in
+  let enc = create ?goal ?heuristics cfg len in
+  (* Seed with the reversed permutation — the hardest single input. *)
+  add_input enc (Array.init n (fun i -> n - i));
+  let rec loop iters =
+    match Sat.solve ~conflict_limit enc.solver with
+    | None -> mk_result Budget_exhausted start enc.solver iters enc.inputs
+    | Some Sat.Unsat -> mk_result Unsat_length start enc.solver iters enc.inputs
+    | Some (Sat.Sat model) -> (
+        let p = decode enc model in
+        match Machine.Exec.counterexample cfg p with
+        | None -> mk_result (Found p) start enc.solver iters enc.inputs
+        | Some cex ->
+            add_input enc cex;
+            loop (iters + 1))
+  in
+  loop 1
+
+let find_min_length ?(strategy = `Cegis) ?(conflict_limit = max_int)
+    ?(max_len = 24) n =
+  let synth =
+    match strategy with `Perm -> synth_perm | `Cegis -> synth_cegis
+  in
+  let rec go len acc =
+    if len > max_len then List.rev acc
+    else
+      let r = synth ~conflict_limit ~len n in
+      let acc = (len, r) :: acc in
+      match r.outcome with
+      | Found _ | Budget_exhausted -> List.rev acc
+      | Unsat_length -> go (len + 1) acc
+  in
+  go 1 []

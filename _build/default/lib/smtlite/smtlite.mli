@@ -1,0 +1,84 @@
+module Vmodel : module type of Vmodel
+(** Re-export: SMT synthesis of min/max kernels (Section 5.4). *)
+
+(** Solver-based synthesis of sorting kernels (paper, Section 4.1).
+
+    The paper's SMT formulations are finite-domain: register values range
+    over [0..n], flags are booleans, and the program is a fixed-length
+    vector of instruction-choice variables. This module bit-blasts that
+    formulation onto the in-repo CDCL solver ({!Sat}) — the same reduction
+    an SMT solver performs internally on such goals:
+
+    - state: one-hot value variables [reg(t, input, r) = v] per time step,
+      plus [lt]/[gt] flag booleans;
+    - instructions: a one-hot choice vector per step over the same
+      instruction universe as the enumerative search;
+    - transitions: implication clauses [choice -> semantics] with frame
+      axioms for untouched registers and flags.
+
+    Two strategies are provided, mirroring SMT-PERM and SMT-CEGIS: encode
+    all [n!] input permutations up front, or grow the input set from
+    counterexamples produced by the concrete executor (the verification
+    oracle — sound here because kernels are constant-free, Section 2.3). *)
+
+type goal =
+  | Goal_exact  (** Output registers equal [1..n] ("= 123"). *)
+  | Goal_ascending_present
+      (** Output ascending and every value [1..n] present ("<=, #123") —
+          equivalent for permutation inputs, different solver behaviour. *)
+
+type heuristics = {
+  no_consecutive_cmp : bool;  (** Heuristic (I) of Section 5.2. *)
+  first_is_cmp : bool;  (** The "cmd[1] = Cmp" skeleton hint. *)
+}
+
+val no_heuristics : heuristics
+val default_heuristics : heuristics
+(** (I) enabled; the compare-symmetry heuristic (II) is always on because
+    the shared instruction universe already canonicalizes comparisons. *)
+
+type outcome =
+  | Found of Isa.Program.t
+  | Unsat_length  (** No program of the given length exists. *)
+  | Budget_exhausted
+
+type result = {
+  outcome : outcome;
+  elapsed : float;
+  sat_conflicts : int;
+  cegis_iterations : int;  (** 1 for SMT-PERM. *)
+  encoded_inputs : int;  (** Permutations present in the final encoding. *)
+}
+
+val synth_perm :
+  ?goal:goal ->
+  ?heuristics:heuristics ->
+  ?conflict_limit:int ->
+  len:int ->
+  int ->
+  result
+(** [synth_perm ~len n]: SMT-PERM — one query over all [n!] permutations
+    for a program of exactly [len] instructions. Any returned program is
+    verified on all permutations before being reported. *)
+
+val synth_cegis :
+  ?goal:goal ->
+  ?heuristics:heuristics ->
+  ?conflict_limit:int ->
+  len:int ->
+  int ->
+  result
+(** SMT-CEGIS — start from a single permutation, let the executor produce
+    counterexamples, and re-solve incrementally until the candidate is
+    correct on all inputs. *)
+
+val find_min_length :
+  ?strategy:[ `Perm | `Cegis ] ->
+  ?conflict_limit:int ->
+  ?max_len:int ->
+  int ->
+  (int * result) list
+(** Probe lengths [1, 2, ...] until a kernel is found (or [max_len] is
+    reached), returning the per-length results; the head of the reversed
+    list ends with the successful length. Mirrors how minimality is
+    established with a solver: length [l] SAT and [l-1] UNSAT. *)

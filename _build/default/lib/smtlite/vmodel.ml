@@ -1,0 +1,160 @@
+type outcome = Found of Minmax.Vexec.program | Unsat_length | Budget_exhausted
+
+type result = {
+  outcome : outcome;
+  elapsed : float;
+  sat_conflicts : int;
+  encoded_inputs : int;
+}
+
+type enc = {
+  solver : Sat.t;
+  cfg : Isa.Config.t;
+  len : int;
+  instrs : Minmax.Vinstr.t array;
+  ins : int array array;
+  mutable inputs : int;
+}
+
+let exactly_one solver vars =
+  Sat.add_clause solver vars;
+  let arr = Array.of_list vars in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Sat.add_clause solver [ -arr.(i); -arr.(j) ]
+    done
+  done
+
+let create cfg len =
+  let solver = Sat.create () in
+  let instrs = Minmax.Vinstr.all cfg in
+  let ins =
+    Array.init len (fun _ ->
+        Array.init (Array.length instrs) (fun _ -> Sat.new_var solver))
+  in
+  Array.iter (fun row -> exactly_one solver (Array.to_list row)) ins;
+  { solver; cfg; len; instrs; ins; inputs = 0 }
+
+let add_input enc perm =
+  let s = enc.solver in
+  let cfg = enc.cfg in
+  let n = cfg.Isa.Config.n in
+  let k = Isa.Config.nregs cfg in
+  let dom = n + 1 in
+  let reg =
+    Array.init (enc.len + 1) (fun _ ->
+        Array.init k (fun _ -> Array.init dom (fun _ -> Sat.new_var s)))
+  in
+  for t = 0 to enc.len do
+    for r = 0 to k - 1 do
+      exactly_one s (Array.to_list reg.(t).(r))
+    done
+  done;
+  for r = 0 to k - 1 do
+    let v = if r < n then perm.(r) else 0 in
+    Sat.add_clause s [ reg.(0).(r).(v) ]
+  done;
+  for t = 0 to enc.len - 1 do
+    Array.iteri
+      (fun idx instr ->
+        let i = enc.ins.(t).(idx) in
+        let d = instr.Minmax.Vinstr.dst and src = instr.Minmax.Vinstr.src in
+        (* Frame: registers other than [d] carry over. *)
+        for r = 0 to k - 1 do
+          if r <> d then
+            for v = 0 to dom - 1 do
+              Sat.add_clause s [ -i; -reg.(t).(r).(v); reg.(t + 1).(r).(v) ]
+            done
+        done;
+        match instr.Minmax.Vinstr.op with
+        | Minmax.Vinstr.Movdqa ->
+            for v = 0 to dom - 1 do
+              Sat.add_clause s [ -i; -reg.(t).(src).(v); reg.(t + 1).(d).(v) ]
+            done
+        | Minmax.Vinstr.Pmin | Minmax.Vinstr.Pmax ->
+            let f =
+              if instr.Minmax.Vinstr.op = Minmax.Vinstr.Pmin then min else max
+            in
+            for va = 0 to dom - 1 do
+              for vb = 0 to dom - 1 do
+                Sat.add_clause s
+                  [
+                    -i; -reg.(t).(d).(va); -reg.(t).(src).(vb);
+                    reg.(t + 1).(d).(f va vb);
+                  ]
+              done
+            done)
+      enc.instrs
+  done;
+  (* Goal: value registers hold 1..n in order. *)
+  for r = 0 to n - 1 do
+    Sat.add_clause s [ reg.(enc.len).(r).(r + 1) ]
+  done;
+  enc.inputs <- enc.inputs + 1
+
+let decode enc model =
+  Array.init enc.len (fun t ->
+      let rec find i =
+        if i >= Array.length enc.instrs then failwith "Vmodel.decode"
+        else if model.(enc.ins.(t).(i)) then enc.instrs.(i)
+        else find (i + 1)
+      in
+      find 0)
+
+let counterexample cfg p =
+  List.find_opt
+    (fun perm -> not (Perms.is_identity (Minmax.Vexec.run cfg p perm)))
+    (Perms.all cfg.Isa.Config.n)
+
+let mk outcome start solver inputs =
+  {
+    outcome;
+    elapsed = Unix.gettimeofday () -. start;
+    sat_conflicts = Sat.stats_conflicts solver;
+    encoded_inputs = inputs;
+  }
+
+let synth_perm ?(conflict_limit = max_int) ~len n =
+  let start = Unix.gettimeofday () in
+  let cfg = Isa.Config.default n in
+  let enc = create cfg len in
+  List.iter (add_input enc) (Perms.all n);
+  match Sat.solve ~conflict_limit enc.solver with
+  | None -> mk Budget_exhausted start enc.solver enc.inputs
+  | Some Sat.Unsat -> mk Unsat_length start enc.solver enc.inputs
+  | Some (Sat.Sat model) ->
+      let p = decode enc model in
+      assert (Minmax.Vexec.sorts_all_permutations cfg p);
+      mk (Found p) start enc.solver enc.inputs
+
+let synth_cegis ?(conflict_limit = max_int) ~len n =
+  let start = Unix.gettimeofday () in
+  let cfg = Isa.Config.default n in
+  let enc = create cfg len in
+  add_input enc (Array.init n (fun i -> n - i));
+  let rec loop () =
+    match Sat.solve ~conflict_limit enc.solver with
+    | None -> mk Budget_exhausted start enc.solver enc.inputs
+    | Some Sat.Unsat -> mk Unsat_length start enc.solver enc.inputs
+    | Some (Sat.Sat model) -> (
+        let p = decode enc model in
+        match counterexample cfg p with
+        | None -> mk (Found p) start enc.solver enc.inputs
+        | Some cex ->
+            add_input enc cex;
+            loop ())
+  in
+  loop ()
+
+let find_min_length ?(conflict_limit = max_int) ?(max_len = 16) n =
+  let rec go len acc =
+    if len > max_len then List.rev acc
+    else
+      let r = synth_cegis ~conflict_limit ~len n in
+      let acc = (len, r) :: acc in
+      match r.outcome with
+      | Found _ | Budget_exhausted -> List.rev acc
+      | Unsat_length -> go (len + 1) acc
+  in
+  go 1 []

@@ -1,0 +1,26 @@
+(** SMT synthesis of min/max kernels (paper, Section 5.4: "our SMT approach
+    takes 10 s" for the n = 3 min/max kernel; nothing for n = 4).
+
+    Same finite-domain bit-blasting as {!Smtlite} over the simpler vector
+    ISA: no flags, three opcodes, and [min]/[max] as value-level relations
+    on the one-hot register encoding. *)
+
+type outcome = Found of Minmax.Vexec.program | Unsat_length | Budget_exhausted
+
+type result = {
+  outcome : outcome;
+  elapsed : float;
+  sat_conflicts : int;
+  encoded_inputs : int;
+}
+
+val synth_perm : ?conflict_limit:int -> len:int -> int -> result
+(** One query over all permutations for a min/max kernel of exactly [len]
+    instructions. Any result is verified before being returned. *)
+
+val synth_cegis : ?conflict_limit:int -> len:int -> int -> result
+(** Counterexample-guided variant with the concrete executor as oracle. *)
+
+val find_min_length :
+  ?conflict_limit:int -> ?max_len:int -> int -> (int * result) list
+(** Probe lengths upward; stops at the first success or budget blowout. *)

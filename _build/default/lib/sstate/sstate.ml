@@ -1,0 +1,86 @@
+type t = int array
+
+let canonicalize a =
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Sstate: empty state";
+  (* Count distinct entries, then copy them out in order. *)
+  let distinct = ref 1 in
+  for i = 1 to n - 1 do
+    if a.(i) <> a.(i - 1) then incr distinct
+  done;
+  if !distinct = n then a
+  else begin
+    let out = Array.make !distinct a.(0) in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        incr j;
+        out.(!j) <- a.(i)
+      end
+    done;
+    out
+  end
+
+let of_codes a = canonicalize (Array.copy a)
+
+let initial cfg =
+  Perms.all cfg.Isa.Config.n
+  |> List.map (Machine.Assign.of_permutation cfg)
+  |> Array.of_list |> canonicalize
+
+let codes t = t
+let size = Array.length
+
+let apply cfg instr t =
+  canonicalize (Array.map (fun c -> Machine.Assign.apply cfg instr c) t)
+
+let is_final cfg t =
+  let ok = ref true in
+  Array.iter (fun c -> if not (Machine.Assign.is_sorted cfg c) then ok := false) t;
+  !ok
+
+let distinct_perms cfg t =
+  (* Value-register projections of a sorted code array are not themselves
+     sorted (flags and scratch occupy the low and high bits), so collect and
+     sort the projection keys. *)
+  let keys = Array.map (fun c -> Machine.Assign.perm_key cfg c) t in
+  Array.sort compare keys;
+  let d = ref 1 in
+  for i = 1 to Array.length keys - 1 do
+    if keys.(i) <> keys.(i - 1) then incr d
+  done;
+  !d
+
+let distinct_assignments = Array.length
+
+let all_viable cfg t =
+  let ok = ref true in
+  Array.iter (fun c -> if not (Machine.Assign.viable cfg c) then ok := false) t;
+  !ok
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+
+let hash (t : t) =
+  let h = ref 0x1bf29ce484222325 in
+  for i = 0 to Array.length t - 1 do
+    h := (!h lxor t.(i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+let pp cfg ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Machine.Assign.pp cfg ppf c)
+    t;
+  Format.fprintf ppf "@]"
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

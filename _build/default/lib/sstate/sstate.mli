@@ -1,0 +1,54 @@
+(** Synthesis states.
+
+    A synthesis state tracks the effect of a partial program on {e every}
+    input permutation of [1..n] simultaneously (paper, Section 3): one
+    {!Machine.Assign.code} per permutation. States are kept in canonical
+    form — assignment codes sorted ascending with duplicates removed — which
+    realizes the paper's two symmetry reductions (Section 3.6): programs that
+    behave identically on all inputs map to the same state, and input
+    permutations whose assignments have converged are tracked once. *)
+
+type t = private int array
+(** Canonical: strictly increasing array of assignment codes, never empty. *)
+
+val initial : Isa.Config.t -> t
+(** One assignment per permutation of [1..n], scratch zeroed, flags clear. *)
+
+val of_codes : int array -> t
+(** Canonicalize an arbitrary code vector (sort + dedup). The input array is
+    not modified. *)
+
+val codes : t -> int array
+(** The underlying canonical array (do not mutate). *)
+
+val size : t -> int
+(** Number of distinct assignments in the state. *)
+
+val apply : Isa.Config.t -> Isa.Instr.t -> t -> t
+(** Execute one instruction on every assignment and re-canonicalize. *)
+
+val is_final : Isa.Config.t -> t -> bool
+(** All assignments have their value registers sorted ([1..n] in order). *)
+
+val distinct_perms : Isa.Config.t -> t -> int
+(** Number of distinct value-register projections — the paper's main
+    progress metric ("how much the array has been sorted", Section 3.1) and
+    the quantity its cut heuristic thresholds (Section 3.5). *)
+
+val distinct_assignments : t -> int
+(** Number of distinct full assignments (equals {!size} because states are
+    deduplicated). *)
+
+val all_viable : Isa.Config.t -> t -> bool
+(** No assignment has lost one of the values [1..n] (paper, Section 3.3). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** FNV-1a over the code array; used by the search's dedup table. *)
+
+val pp : Isa.Config.t -> Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash table keyed by canonical states. *)

@@ -1,0 +1,147 @@
+type test_suite = All_permutations | Random_subset of { count : int; seed : int }
+
+type options = {
+  max_len : int;
+  iterations : int;
+  beta : float;
+  seed : int;
+  suite : test_suite;
+  length_weight : float;
+}
+
+let default n =
+  {
+    max_len = 4 * Sortnet.size (Sortnet.optimal n);
+    iterations = 1_000_000;
+    beta = 1.0;
+    seed = 1;
+    suite = All_permutations;
+    length_weight = 0.5;
+  }
+
+type result = {
+  best : Isa.Program.t;
+  best_cost : float;
+  correct : bool;
+  accepted : int;
+  iterations_run : int;
+  elapsed : float;
+}
+
+(* A slot is either a real instruction or a Nop (None). *)
+type slot = Isa.Instr.t option
+
+let strip (slots : slot array) : Isa.Program.t =
+  Array.of_list (List.filter_map Fun.id (Array.to_list slots))
+
+let run_slots cfg slots input =
+  let st = Machine.Exec.init cfg input in
+  Array.iter
+    (function Some i -> Machine.Exec.step st i | None -> ())
+    slots;
+  Array.sub st.Machine.Exec.regs 0 cfg.Isa.Config.n
+
+(* Cost: per test case, count output cells that differ from the sorted
+   reference (the STOKE Hamming cost), plus a length penalty only applied
+   when all tests pass so that correctness dominates. *)
+let cost cfg opts tests slots =
+  let misses = ref 0 in
+  List.iter
+    (fun input ->
+      let out = run_slots cfg slots input in
+      let expected = Array.copy input in
+      Array.sort compare expected;
+      Array.iteri (fun i v -> if v <> expected.(i) then incr misses) out)
+    tests;
+  let len = Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots in
+  if !misses = 0 then opts.length_weight *. float_of_int len
+  else float_of_int (100 * !misses) +. (opts.length_weight *. float_of_int len)
+
+let make_tests cfg opts =
+  match opts.suite with
+  | All_permutations -> Perms.all cfg.Isa.Config.n
+  | Random_subset { count; seed } ->
+      let st = Random.State.make [| seed |] in
+      List.init count (fun _ -> Perms.random st cfg.Isa.Config.n)
+
+let mcmc cfg opts (start : slot array) =
+  let t0 = Unix.gettimeofday () in
+  let st = Random.State.make [| opts.seed |] in
+  let instrs = Isa.Instr.all cfg in
+  let ni = Array.length instrs in
+  let tests = make_tests cfg opts in
+  let slots = Array.copy start in
+  let cur = ref (cost cfg opts tests slots) in
+  let best = ref (Array.copy slots) and best_cost = ref !cur in
+  let accepted = ref 0 in
+  let random_instr () = instrs.(Random.State.int st ni) in
+  for _ = 1 to opts.iterations do
+    let pos = Random.State.int st opts.max_len in
+    let save = slots.(pos) in
+    let save2_pos = ref (-1) in
+    let save2 = ref None in
+    (match Random.State.int st 4 with
+    | 0 -> slots.(pos) <- Some (random_instr ())
+    | 1 -> (
+        (* Operand mutation. *)
+        match slots.(pos) with
+        | Some i ->
+            let k = Isa.Config.nregs cfg in
+            let j =
+              if Random.State.bool st then
+                { i with Isa.Instr.dst = Random.State.int st k }
+              else { i with Isa.Instr.src = Random.State.int st k }
+            in
+            if Isa.Instr.valid cfg j then slots.(pos) <- Some j
+        | None -> slots.(pos) <- Some (random_instr ()))
+    | 2 ->
+        (* Swap two positions. *)
+        let q = Random.State.int st opts.max_len in
+        save2_pos := q;
+        save2 := slots.(q);
+        let tmp = slots.(pos) in
+        slots.(pos) <- slots.(q);
+        slots.(q) <- tmp
+    | _ -> slots.(pos) <- (if slots.(pos) = None then Some (random_instr ()) else None));
+    let c = cost cfg opts tests slots in
+    let accept =
+      c <= !cur
+      || Random.State.float st 1.0 < exp (-.opts.beta *. (c -. !cur))
+    in
+    if accept then begin
+      cur := c;
+      incr accepted;
+      if c < !best_cost then begin
+        best_cost := c;
+        best := Array.copy slots
+      end
+    end
+    else begin
+      slots.(pos) <- save;
+      if !save2_pos >= 0 then slots.(!save2_pos) <- !save2
+    end
+  done;
+  let best_prog = strip !best in
+  {
+    best = best_prog;
+    best_cost = !best_cost;
+    correct = Machine.Exec.sorts_all_permutations cfg best_prog;
+    accepted = !accepted;
+    iterations_run = opts.iterations;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let cold ?opts n =
+  let opts = match opts with Some o -> o | None -> default n in
+  let cfg = Isa.Config.default n in
+  mcmc cfg opts (Array.make opts.max_len None)
+
+let warm ?opts n p =
+  let opts = match opts with Some o -> o | None -> default n in
+  let opts = { opts with max_len = max opts.max_len (Array.length p) } in
+  let cfg = Isa.Config.default n in
+  let slots = Array.make opts.max_len None in
+  Array.iteri (fun i instr -> slots.(i) <- Some instr) p;
+  mcmc cfg opts slots
+
+let network_start n = Sortnet.to_kernel (Isa.Config.default n) (Sortnet.optimal n)

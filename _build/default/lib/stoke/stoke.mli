@@ -1,0 +1,52 @@
+(** Stochastic superoptimization (STOKE analogue; paper, Section 5.2 and
+    Schkufza et al. 2013).
+
+    Metropolis-Hastings over fixed-length instruction sequences with a
+    [Nop] padding opcode. Moves: replace an instruction, replace only an
+    operand, swap two positions, or toggle a position to/from [Nop]. Cost:
+    Hamming-style distance between the produced and expected outputs over a
+    test suite, plus a length penalty weighting shorter programs once
+    correctness is reached.
+
+    Modes, as in the paper: {e cold start} from an empty (all-[Nop])
+    program; {e warm start} from a given correct program (e.g. a compiled
+    sorting network), which the search then tries to shorten. The paper
+    reports that STOKE fails to synthesize [n = 3] from a cold start and
+    fails to reach the optimal 11 instructions from warm starts; the same
+    behaviour is expected here. *)
+
+type test_suite =
+  | All_permutations
+  | Random_subset of { count : int; seed : int }
+
+type options = {
+  max_len : int;  (** Sequence length (padded with Nops). *)
+  iterations : int;
+  beta : float;  (** Inverse temperature for the acceptance rule. *)
+  seed : int;
+  suite : test_suite;
+  length_weight : float;
+      (** Cost per non-Nop instruction once all tests pass. *)
+}
+
+val default : int -> options
+(** Defaults for width [n]: [max_len] from the sorting-network size,
+    1e6 iterations, all-permutation suite. *)
+
+type result = {
+  best : Isa.Program.t;  (** Nops removed. *)
+  best_cost : float;
+  correct : bool;  (** Verified against all permutations. *)
+  accepted : int;
+  iterations_run : int;
+  elapsed : float;
+}
+
+val cold : ?opts:options -> int -> result
+(** Synthesize from scratch for width [n]. *)
+
+val warm : ?opts:options -> int -> Isa.Program.t -> result
+(** Optimize a given starting program (it is padded to [max_len]). *)
+
+val network_start : int -> Isa.Program.t
+(** The compiled optimal sorting network — the paper's warm-start seed. *)

@@ -1,0 +1,148 @@
+type expr = Input of int | Min of expr * expr | Max of expr * expr
+
+let rec eval e a =
+  match e with
+  | Input i -> a.(i)
+  | Min (x, y) -> min (eval x a) (eval y a)
+  | Max (x, y) -> max (eval x a) (eval y a)
+
+let rec size = function
+  | Input _ -> 0
+  | Min (x, y) | Max (x, y) -> 1 + size x + size y
+
+let rec to_string = function
+  | Input i -> Printf.sprintf "a%d" (i + 1)
+  | Min (x, y) -> Printf.sprintf "min(%s, %s)" (to_string x) (to_string y)
+  | Max (x, y) -> Printf.sprintf "max(%s, %s)" (to_string x) (to_string y)
+
+type result = {
+  outputs : expr array;
+  enumerated : int;
+  distinct : int;
+  elapsed : float;
+}
+
+(* Observational signature: the expression's value on every permutation. *)
+let signature perms e = List.map (eval e) perms
+
+let synthesize ?(max_size = 12) n =
+  let start = Unix.gettimeofday () in
+  let perms = Perms.all n in
+  let targets =
+    Array.init n (fun k -> List.map (fun (_ : int array) -> k + 1) perms)
+    (* The k-th smallest of a permutation of 1..n is k+1. *)
+  in
+  let found = Array.make n None in
+  let seen = Hashtbl.create 1024 in
+  let by_size = Array.make (max_size + 1) [] in
+  let enumerated = ref 0 in
+  let note e =
+    incr enumerated;
+    let s = signature perms e in
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s e;
+      by_size.(size e) <- e :: by_size.(size e);
+      Array.iteri
+        (fun k t -> if found.(k) = None && s = t then found.(k) <- Some e)
+        targets;
+      true
+    end
+    else false
+  in
+  for i = 0 to n - 1 do
+    ignore (note (Input i))
+  done;
+  let s = ref 1 in
+  while
+    !s <= max_size
+    && Array.exists (( = ) None) found
+  do
+    (* All (left, right) size splits with left + right = s - 1. *)
+    for ls = 0 to !s - 1 do
+      let rs = !s - 1 - ls in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun r ->
+              ignore (note (Min (l, r)));
+              ignore (note (Max (l, r))))
+            by_size.(rs))
+        by_size.(ls)
+    done;
+    incr s
+  done;
+  if Array.exists (( = ) None) found then None
+  else
+    Some
+      {
+        outputs = Array.map Option.get found;
+        enumerated = !enumerated;
+        distinct = Hashtbl.length seen;
+        elapsed = Unix.gettimeofday () -. start;
+      }
+
+(* Lowering to the two-address vector file: outputs 1..n-1 are evaluated
+   into scratch registers, output 0 in place; every operator becomes one
+   pmin/pmax, every subtree root a movdqa. Fails (None) when the scratch
+   file cannot hold the pending outputs and temporaries — the register
+   pressure the functional view hides. *)
+let lower cfg r =
+  let n = cfg.Isa.Config.n and m = cfg.Isa.Config.m in
+  if Array.length r.outputs <> n then invalid_arg "Sygus.lower";
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let temps = ref (List.init m (fun i -> n + i)) in
+  let take () =
+    match !temps with
+    | t :: rest ->
+        temps := rest;
+        Some t
+    | [] -> None
+  in
+  let exception Spill in
+  (* Evaluate [e] into register [target]; leaves are input registers. *)
+  let rec eval_into target e =
+    match e with
+    | Input i -> if i <> target then emit (Minmax.Vinstr.movdqa target i)
+    | Min (a, b) | Max (a, b) ->
+        (* min/max are commutative: if the right operand lives in the
+           target register, evaluate it first so it is not clobbered. *)
+        let a, b = if b = Input target then (b, a) else (a, b) in
+        eval_into target a;
+        let rreg, release =
+          match b with
+          | Input j -> (j, None)
+          | _ -> (
+              match take () with
+              | Some t ->
+                  eval_into t b;
+                  (t, Some t)
+              | None -> raise Spill)
+        in
+        (match e with
+        | Min _ -> emit (Minmax.Vinstr.pmin target rreg)
+        | Max _ -> emit (Minmax.Vinstr.pmax target rreg)
+        | Input _ -> assert false);
+        (match release with Some t -> temps := t :: !temps | None -> ())
+  in
+  match
+    let placed = ref [] in
+    for k = n - 1 downto 1 do
+      match take () with
+      | Some t ->
+          eval_into t r.outputs.(k);
+          placed := (k, t) :: !placed
+      | None -> raise Spill
+    done;
+    eval_into 0 r.outputs.(0);
+    List.iter (fun (k, t) -> emit (Minmax.Vinstr.movdqa k t)) (List.rev !placed);
+    Array.of_list (List.rev !code)
+  with
+  | program ->
+      if Minmax.Vexec.sorts_all_permutations cfg program then Some program
+      else None
+  | exception Spill -> None
+
+let lower_unbounded r =
+  (* One instruction per operator, plus one copy to root each output. *)
+  Array.fold_left (fun acc e -> acc + size e + 1) 0 r.outputs

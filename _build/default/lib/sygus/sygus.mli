@@ -1,0 +1,58 @@
+(** Syntax-guided synthesis of sorting functions (SMT-SyGuS analogue,
+    paper Sections 4.1 and 6).
+
+    The paper's SyGuS formulation fails to synthesize even the n = 3
+    kernel. This module reproduces the approach — enumerative SyGuS in the
+    style of Alur et al. (2013), the very solver family the paper's related
+    work discusses — over the natural grammar for oblivious sorting:
+
+    {v E ::= a_1 | ... | a_n | min(E, E) | max(E, E) v}
+
+    Expressions are enumerated by size with observational-equivalence
+    pruning (two expressions agreeing on all n! permutations are merged —
+    the SyGuS counterpart of the paper's state deduplication). The solver
+    quickly finds, for each output position, a min/max expression computing
+    the k-th order statistic.
+
+    The instructive part is what happens next: {e lowering} those
+    expressions to two-address straight-line code (the actual CGO problem)
+    costs one instruction per [min]/[max] node plus register-pressure
+    copies, and lands well above the optimal kernels the enumerative
+    machine-level search finds — functional SyGuS has no notion of
+    destructive updates, register reuse, or flag sharing, which is exactly
+    why the paper's SyGuS attempts go nowhere at the machine level. *)
+
+type expr = Input of int | Min of expr * expr | Max of expr * expr
+
+val eval : expr -> int array -> int
+val size : expr -> int
+(** Number of [min]/[max] operators. *)
+
+val to_string : expr -> string
+
+type result = {
+  outputs : expr array;  (** [outputs.(k)] computes the k-th smallest. *)
+  enumerated : int;  (** Expressions generated before dedup. *)
+  distinct : int;  (** Observationally distinct expressions kept. *)
+  elapsed : float;
+}
+
+val synthesize : ?max_size:int -> int -> result option
+(** [synthesize n] finds order-statistic expressions for all [n] outputs,
+    or [None] if the size budget (default 12 operators) is exhausted.
+    Succeeds instantly for n = 2..4. *)
+
+val lower : Isa.Config.t -> result -> Minmax.Vexec.program option
+(** Compile the expressions to a min/max kernel by scheduling each
+    expression tree bottom-up into the vector register file ([None] when
+    the register file is too small, which happens already for n = 3 with
+    one scratch register — the register-pressure wall the functional view
+    hides). The lowering never reuses intermediate results across outputs,
+    so even when it fits, the emitted kernel is longer than the optimal
+    synthesized one. *)
+
+val lower_unbounded : result -> int
+(** Instruction count of a lowering with unlimited virtual registers (one
+    instruction per operator plus input copies) — a lower bound on what a
+    compiler would emit from the SyGuS output without machine-level
+    reasoning. *)

@@ -1,0 +1,171 @@
+type options = {
+  perplexity : float;
+  iterations : int;
+  learning_rate : float;
+  momentum : float;
+  early_exaggeration : float;
+  seed : int;
+}
+
+let default =
+  {
+    perplexity = 50.;
+    iterations = 300;
+    learning_rate = 70.;
+    momentum = 0.8;
+    early_exaggeration = 4.;
+    seed = 42;
+  }
+
+let sq_dists points =
+  let n = Array.length points in
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let s = ref 0. in
+      Array.iteri
+        (fun k x ->
+          let diff = x -. points.(j).(k) in
+          s := !s +. (diff *. diff))
+        points.(i);
+      d.(i).(j) <- !s;
+      d.(j).(i) <- !s
+    done
+  done;
+  d
+
+(* Row-conditional probabilities with the bandwidth calibrated by bisection
+   so that the row entropy matches log(perplexity). *)
+let conditional_p dists perplexity =
+  let n = Array.length dists in
+  let p = Array.make_matrix n n 0. in
+  let target = log perplexity in
+  for i = 0 to n - 1 do
+    let lo = ref 1e-20 and hi = ref 1e20 in
+    let beta = ref 1.0 in
+    for _ = 1 to 50 do
+      (* Entropy at current beta. *)
+      let sum = ref 0. and esum = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          let e = exp (-.dists.(i).(j) *. !beta) in
+          sum := !sum +. e;
+          esum := !esum +. (e *. dists.(i).(j))
+        end
+      done;
+      let sum = if !sum < 1e-300 then 1e-300 else !sum in
+      let h = log sum +. (!beta *. !esum /. sum) in
+      if h > target then begin
+        lo := !beta;
+        beta := if !hi > 1e19 then !beta *. 2. else 0.5 *. (!beta +. !hi)
+      end
+      else begin
+        hi := !beta;
+        beta := 0.5 *. (!beta +. !lo)
+      end
+    done;
+    let sum = ref 0. in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        p.(i).(j) <- exp (-.dists.(i).(j) *. !beta);
+        sum := !sum +. p.(i).(j)
+      end
+    done;
+    let sum = if !sum < 1e-300 then 1e-300 else !sum in
+    for j = 0 to n - 1 do
+      p.(i).(j) <- p.(i).(j) /. sum
+    done
+  done;
+  (* Symmetrize. *)
+  let pj = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      pj.(i).(j) <- max ((p.(i).(j) +. p.(j).(i)) /. (2. *. float_of_int n)) 1e-12
+    done
+  done;
+  pj
+
+let q_matrix emb =
+  let n = Array.length emb in
+  let q = Array.make_matrix n n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dx = emb.(i).(0) -. emb.(j).(0) and dy = emb.(i).(1) -. emb.(j).(1) in
+      let v = 1. /. (1. +. (dx *. dx) +. (dy *. dy)) in
+      q.(i).(j) <- v;
+      q.(j).(i) <- v;
+      sum := !sum +. (2. *. v)
+    done
+  done;
+  let z = if !sum < 1e-300 then 1e-300 else !sum in
+  (q, z)
+
+let embed ?(opts = default) points =
+  let n = Array.length points in
+  if n < 4 then invalid_arg "Tsne.embed: need at least 4 points";
+  let dim = Array.length points.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> dim then invalid_arg "Tsne.embed: ragged input")
+    points;
+  let perplexity = Float.min opts.perplexity (float_of_int (n - 1) /. 3.) in
+  let p = conditional_p (sq_dists points) perplexity in
+  let st = Random.State.make [| opts.seed |] in
+  let emb =
+    Array.init n (fun _ ->
+        [| Random.State.float st 1e-2; Random.State.float st 1e-2 |])
+  in
+  let vel = Array.make_matrix n 2 0. in
+  (* Adaptive per-coordinate gains (van der Maaten's reference
+     implementation): grow when gradient and velocity disagree, shrink
+     otherwise. This keeps the paper's learning rate stable. *)
+  let gains = Array.make_matrix n 2 1. in
+  for iter = 1 to opts.iterations do
+    let exag =
+      if iter <= opts.iterations / 4 then opts.early_exaggeration else 1.0
+    in
+    let momentum =
+      if iter <= opts.iterations / 4 then Float.min opts.momentum 0.5
+      else opts.momentum
+    in
+    let q, z = q_matrix emb in
+    let grad = Array.make_matrix n 2 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let coef = ((exag *. p.(i).(j)) -. (q.(i).(j) /. z)) *. q.(i).(j) in
+          grad.(i).(0) <- grad.(i).(0) +. (4. *. coef *. (emb.(i).(0) -. emb.(j).(0)));
+          grad.(i).(1) <- grad.(i).(1) +. (4. *. coef *. (emb.(i).(1) -. emb.(j).(1)))
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      for d = 0 to 1 do
+        let same_sign = grad.(i).(d) *. vel.(i).(d) > 0. in
+        gains.(i).(d) <-
+          Float.max 0.01
+            (if same_sign then gains.(i).(d) *. 0.8 else gains.(i).(d) +. 0.2);
+        vel.(i).(d) <-
+          (momentum *. vel.(i).(d))
+          -. (opts.learning_rate *. gains.(i).(d) *. grad.(i).(d));
+        emb.(i).(d) <- emb.(i).(d) +. vel.(i).(d)
+      done
+    done
+  done;
+  emb
+
+let kl_divergence input output perplexity =
+  let p = conditional_p (sq_dists input) perplexity in
+  let q, z = q_matrix output in
+  let n = Array.length input in
+  let kl = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let qij = max (q.(i).(j) /. z) 1e-12 in
+        kl := !kl +. (p.(i).(j) *. log (p.(i).(j) /. qij))
+      end
+    done
+  done;
+  !kl

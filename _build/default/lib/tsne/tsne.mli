@@ -1,0 +1,29 @@
+(** t-distributed stochastic neighbour embedding (van der Maaten & Hinton
+    2008), used to reproduce the paper's Figure 2 — the 2-D layout of the
+    n = 3 solution space under different cut factors.
+
+    Standard formulation: Gaussian input affinities with per-point
+    perplexity calibration by bisection, Student-t output affinities,
+    gradient descent with momentum and early exaggeration. Exact (O(N^2))
+    gradients — ample for the few thousand solutions of Figure 2. *)
+
+type options = {
+  perplexity : float;
+  iterations : int;
+  learning_rate : float;
+  momentum : float;
+  early_exaggeration : float;  (** Factor on P for the first quarter. *)
+  seed : int;
+}
+
+val default : options
+(** Perplexity 50, 300 iterations, learning rate 70 — the settings named in
+    the paper's artifact (tsne_scattered_a70_p50_i300). *)
+
+val embed : ?opts:options -> float array array -> float array array
+(** [embed points] maps each high-dimensional row to 2-D coordinates.
+    Raises [Invalid_argument] on ragged input or fewer than 4 points. *)
+
+val kl_divergence : float array array -> float array array -> float -> float
+(** [kl_divergence input output perplexity] — the objective value for a
+    given embedding; exposed so tests can assert it decreases. *)

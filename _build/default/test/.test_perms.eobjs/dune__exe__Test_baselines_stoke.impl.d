@@ -1,0 +1,1 @@
+test/test_baselines_stoke.ml: Alcotest Array Isa List Machine Perf QCheck QCheck_alcotest Random Stoke

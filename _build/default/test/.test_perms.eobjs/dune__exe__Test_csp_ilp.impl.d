@@ -1,0 +1,1 @@
+test/test_csp_ilp.ml: Alcotest Array Csp Ilp Isa List Machine QCheck QCheck_alcotest Random Search

@@ -1,0 +1,1 @@
+test/test_distance.ml: Alcotest Array Distance Fun Isa List Machine Perms QCheck QCheck_alcotest Random Sstate

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Csp Filename Harness Hybrid Isa List Machine Minmax Perf Perms QCheck QCheck_alcotest Search Smtlite Sortnet String Sys

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Csp Ilp Isa List Machine Minmax Option Perf Perms Planning Random Search Smtlite Sortnet Sortsynth Stoke String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Isa List Machine Perms QCheck QCheck_alcotest Random

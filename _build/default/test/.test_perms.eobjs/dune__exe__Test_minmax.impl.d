@@ -1,0 +1,1 @@
+test/test_minmax.ml: Alcotest Array Isa List Machine Minmax Option Perf Perms QCheck QCheck_alcotest Random String

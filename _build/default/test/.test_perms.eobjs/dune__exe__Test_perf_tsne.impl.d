@@ -1,0 +1,1 @@
+test/test_perf_tsne.ml: Alcotest Array Float Isa List Machine Perf QCheck QCheck_alcotest Random Tsne

@@ -1,0 +1,1 @@
+test/test_perms.ml: Alcotest List Perms Printf QCheck QCheck_alcotest Random

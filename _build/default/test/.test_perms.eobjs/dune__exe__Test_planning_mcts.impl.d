@@ -1,0 +1,1 @@
+test/test_planning_mcts.ml: Alcotest Array Isa List Machine Mcts Planning String

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Isa List Machine QCheck QCheck_alcotest Search

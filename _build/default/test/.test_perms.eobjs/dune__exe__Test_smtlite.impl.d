@@ -1,0 +1,1 @@
+test/test_smtlite.ml: Alcotest Array Isa List Machine Smtlite

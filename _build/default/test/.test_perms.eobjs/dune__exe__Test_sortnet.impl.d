@@ -1,0 +1,1 @@
+test/test_sortnet.ml: Alcotest Array Isa List Machine Perms Printf QCheck QCheck_alcotest Random Sortnet

@@ -1,0 +1,1 @@
+test/test_sstate.ml: Alcotest Array Isa Machine QCheck QCheck_alcotest Random Sstate

@@ -1,0 +1,1 @@
+test/test_sygus.ml: Alcotest Array Isa List Minmax Option QCheck QCheck_alcotest Random Sygus

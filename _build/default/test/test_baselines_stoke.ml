@@ -1,0 +1,119 @@
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Stoke --- *)
+
+let small n iters = { (Stoke.default n) with Stoke.iterations = iters; seed = 3 }
+
+let test_stoke_cold_n2 () =
+  (* n=2 is small enough for MCMC to find a correct kernel reliably. *)
+  let r = Stoke.cold ~opts:(small 2 300_000) 2 in
+  assert r.Stoke.correct;
+  assert (Array.length r.Stoke.best >= 4)
+
+let test_stoke_warm_preserves_correctness () =
+  let start = Stoke.network_start 3 in
+  let r = Stoke.warm ~opts:(small 3 150_000) 3 start in
+  (* Warm start begins correct; the best program must remain correct. *)
+  assert r.Stoke.correct;
+  assert (Array.length r.Stoke.best <= Array.length start)
+
+let test_stoke_cost_zero_iterations () =
+  let r = Stoke.cold ~opts:(small 2 0) 2 in
+  (* All-Nop start: incorrect, nothing accepted. *)
+  assert (not r.Stoke.correct);
+  Alcotest.(check int) "no accepts" 0 r.Stoke.accepted
+
+let test_stoke_random_suite_oracle_gap () =
+  (* With a tiny random test suite the search can accept kernels that pass
+     the suite but fail full verification — the paper's observation about
+     partial test suites. Either way the [correct] field is the ground
+     truth. *)
+  let opts =
+    { (small 3 100_000) with Stoke.suite = Stoke.Random_subset { count = 2; seed = 1 } }
+  in
+  let r = Stoke.cold ~opts 3 in
+  if r.Stoke.correct then
+    assert (Machine.Exec.sorts_all_permutations (Isa.Config.default 3) r.Stoke.best)
+
+let test_network_start_correct () =
+  for n = 2 to 5 do
+    assert (Machine.Exec.sorts_all_permutations (Isa.Config.default n)
+              (Stoke.network_start n))
+  done
+
+(* --- Baselines and the kernel compiler --- *)
+
+let test_baselines_verify () =
+  for n = 2 to 6 do
+    List.iter
+      (fun s ->
+        if not (Perf.Compile.verify s) then
+          Alcotest.failf "baseline %s fails at width %d" s.Perf.Compile.name n)
+      (Perf.Baselines.all n)
+  done
+
+let test_compiled_kernels_verify () =
+  assert (Perf.Compile.verify (Perf.Compile.kernel (Isa.Config.default 3) Perf.Kernels.paper_sort3));
+  for n = 2 to 5 do
+    let k = Perf.Compile.kernel (Isa.Config.default n) (Perf.Kernels.network n) in
+    assert (Perf.Compile.verify k)
+  done
+
+let test_named_kernels () =
+  assert (Perf.Compile.verify (Perf.Kernels.alphadev 3));
+  assert (Perf.Compile.verify (Perf.Kernels.alphadev 4));
+  assert (Perf.Compile.verify Perf.Kernels.cassioneri);
+  for n = 3 to 5 do
+    assert (Perf.Compile.verify (Perf.Kernels.mimicry n))
+  done
+
+let prop_compiled_kernel_matches_interpreter =
+  let cfg = Isa.Config.default 3 in
+  let sorter = Perf.Compile.kernel cfg Perf.Kernels.paper_sort3 in
+  QCheck.Test.make ~name:"compiled closure = interpreter on random input"
+    ~count:300
+    QCheck.(triple small_signed_int small_signed_int small_signed_int)
+    (fun (a, b, c) ->
+      let arr = [| a; b; c |] in
+      let by_interp = Machine.Exec.run cfg Perf.Kernels.paper_sort3 arr in
+      let buf = Array.copy arr in
+      sorter.Perf.Compile.run buf 0;
+      buf = by_interp)
+
+let prop_baselines_sort =
+  QCheck.Test.make ~name:"all baselines sort random arrays" ~count:200
+    QCheck.(pair (int_bound 100000) (int_range 2 6))
+    (fun (seed, n) ->
+      let st = Random.State.make [| seed |] in
+      let input = Array.init n (fun _ -> Random.State.int st 100 - 50) in
+      List.for_all
+        (fun s ->
+          let buf = Array.copy input in
+          s.Perf.Compile.run buf 0;
+          Machine.Exec.output_correct ~input ~output:buf)
+        (Perf.Baselines.all n))
+
+let () =
+  Alcotest.run "baselines-stoke"
+    [
+      ( "stoke",
+        [
+          Alcotest.test_case "cold n=2 succeeds" `Slow test_stoke_cold_n2;
+          Alcotest.test_case "warm stays correct" `Slow
+            test_stoke_warm_preserves_correctness;
+          Alcotest.test_case "zero iterations" `Quick test_stoke_cost_zero_iterations;
+          Alcotest.test_case "random-suite oracle gap" `Slow
+            test_stoke_random_suite_oracle_gap;
+          Alcotest.test_case "network starts correct" `Quick test_network_start_correct;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "baselines verify" `Quick test_baselines_verify;
+          Alcotest.test_case "compiled kernels verify" `Quick
+            test_compiled_kernels_verify;
+          Alcotest.test_case "named kernels" `Quick test_named_kernels;
+        ] );
+      ( "properties",
+        [ qtest prop_compiled_kernel_matches_interpreter; qtest prop_baselines_sort ]
+      );
+    ]

@@ -1,0 +1,135 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg = Isa.Config.default 3
+let d3 = Distance.compute cfg
+
+let test_sorted_is_zero () =
+  List.iter
+    (fun scratch ->
+      let c = Machine.Assign.of_values cfg [| 1; 2; 3; scratch |] in
+      check Alcotest.int "dist 0" 0 (Distance.dist d3 c))
+    [ 0; 1; 2; 3 ]
+
+let test_known_distances () =
+  (* One transposition away, fixable by a 3-instruction swap via scratch. *)
+  let c = Machine.Assign.of_permutation cfg [| 2; 1; 3 |] in
+  check Alcotest.int "swap needs 3" 3 (Distance.dist d3 c);
+  (* A 3-cycle needs 4 moves through the scratch register. *)
+  let c = Machine.Assign.of_permutation cfg [| 3; 1; 2 |] in
+  check Alcotest.int "3-cycle" 4 (Distance.dist d3 c)
+
+let test_dead_assignment_infinite () =
+  let c = Machine.Assign.of_values cfg [| 2; 2; 3; 3 |] in
+  (* 1 erased — reachable (e.g. via mov) and unsortable. *)
+  check Alcotest.int "infinite" Distance.infinity (Distance.dist d3 c)
+
+let test_initial_lower_bound () =
+  let lb = Distance.state_lower_bound d3 (Sstate.initial cfg) in
+  check Alcotest.int "initial lb" 4 lb;
+  (* Admissibility anchor: the optimal kernel for n=3 has 11 instructions,
+     so any lower bound must be <= 11. *)
+  assert (lb <= 11)
+
+let test_max_finite () =
+  assert (Distance.max_finite_dist d3 >= 4);
+  assert (Distance.max_finite_dist d3 <= 11)
+
+let test_optimal_actions_nonempty () =
+  let instrs = Isa.Instr.all cfg in
+  let marks = Distance.optimal_actions d3 instrs (Sstate.initial cfg) in
+  assert (Array.exists Fun.id marks);
+  (* All comparisons must be admitted (see interface note). *)
+  Array.iteri
+    (fun k i -> if i.Isa.Instr.op = Isa.Instr.Cmp then assert marks.(k))
+    instrs
+
+(* Admissibility: for random reachable assignments, greedily following
+   dist-decreasing instructions reaches sorted in exactly [dist] steps. *)
+let prop_dist_realizable =
+  let instrs = Isa.Instr.all cfg in
+  QCheck.Test.make ~name:"distance realizable by greedy descent" ~count:200
+    QCheck.(pair (int_bound 100000) (int_range 0 6))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let perm = Perms.random st 3 in
+      let c0 = Machine.Assign.of_permutation cfg perm in
+      let c =
+        ref
+          (Array.fold_left
+             (fun c _ ->
+               Machine.Assign.apply cfg
+                 instrs.(Random.State.int st (Array.length instrs))
+                 c)
+             c0
+             (Array.make len ()))
+      in
+      let d = Distance.dist d3 !c in
+      if d >= Distance.infinity then true
+      else begin
+        let steps = ref 0 in
+        while not (Machine.Assign.is_sorted cfg !c) do
+          let found = ref false in
+          Array.iter
+            (fun i ->
+              if not !found then
+                let c' = Machine.Assign.apply cfg i !c in
+                if Distance.dist d3 c' = Distance.dist d3 !c - 1 then begin
+                  c := c';
+                  found := true
+                end)
+            instrs;
+          if not !found then failwith "stuck";
+          incr steps
+        done;
+        !steps = d
+      end)
+
+(* Consistency: one instruction changes the distance by at most 1 upward
+   never more than... formally dist(c) <= dist(apply i c) + 1. *)
+let prop_dist_triangle =
+  let instrs = Isa.Instr.all cfg in
+  QCheck.Test.make ~name:"dist(c) <= dist(succ) + 1" ~count:300
+    QCheck.(pair (int_bound 100000) (int_bound (Array.length instrs - 1)))
+    (fun (seed, k) ->
+      let st = Random.State.make [| seed |] in
+      let c0 = Machine.Assign.of_permutation cfg (Perms.random st 3) in
+      let c =
+        Array.fold_left
+          (fun c _ ->
+            Machine.Assign.apply cfg
+              instrs.(Random.State.int st (Array.length instrs))
+              c)
+          c0
+          (Array.make (Random.State.int st 6) ())
+      in
+      let c' = Machine.Assign.apply cfg instrs.(k) c in
+      let d = Distance.dist d3 c and d' = Distance.dist d3 c' in
+      d' >= Distance.infinity || d <= d' + 1)
+
+let test_cached_shares () =
+  let a = Distance.compute_cached (Isa.Config.default 2) in
+  let b = Distance.compute_cached (Isa.Config.default 2) in
+  assert (a == b)
+
+let test_reachable_counts () =
+  assert (Distance.reachable_count d3 > 6);
+  let d2 = Distance.compute (Isa.Config.default 2) in
+  assert (Distance.reachable_count d2 > 2);
+  check Alcotest.int "n=2 radius" 3 (Distance.max_finite_dist d2)
+
+let () =
+  Alcotest.run "distance"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sorted = 0" `Quick test_sorted_is_zero;
+          Alcotest.test_case "known distances" `Quick test_known_distances;
+          Alcotest.test_case "dead = infinity" `Quick test_dead_assignment_infinite;
+          Alcotest.test_case "initial lower bound" `Quick test_initial_lower_bound;
+          Alcotest.test_case "max finite" `Quick test_max_finite;
+          Alcotest.test_case "optimal actions" `Quick test_optimal_actions_nonempty;
+          Alcotest.test_case "cache" `Quick test_cached_shares;
+          Alcotest.test_case "reachable counts" `Quick test_reachable_counts;
+        ] );
+      ("properties", [ qtest prop_dist_realizable; qtest prop_dist_triangle ]);
+    ]

@@ -1,0 +1,135 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg3 = Isa.Config.default 3
+
+let test_config_make () =
+  let c = Isa.Config.make ~n:4 ~m:2 in
+  check Alcotest.int "nregs" 6 (Isa.Config.nregs c);
+  assert (Isa.Config.is_value_reg c 3);
+  assert (not (Isa.Config.is_value_reg c 4));
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Config.make: n must be in 1..6") (fun () ->
+      ignore (Isa.Config.make ~n:7 ~m:1));
+  Alcotest.check_raises "m negative"
+    (Invalid_argument "Config.make: m must be in 0..3") (fun () ->
+      ignore (Isa.Config.make ~n:3 ~m:(-1)))
+
+let test_reg_names () =
+  check Alcotest.string "r1" "r1" (Isa.Config.reg_name cfg3 0);
+  check Alcotest.string "r3" "r3" (Isa.Config.reg_name cfg3 2);
+  check Alcotest.string "s1" "s1" (Isa.Config.reg_name cfg3 3);
+  check Alcotest.string "x86 r1" "rax" (Isa.Config.x86_reg_name cfg3 0);
+  check Alcotest.string "x86 s1" "rdi" (Isa.Config.x86_reg_name cfg3 3)
+
+let test_instr_validity () =
+  assert (Isa.Instr.valid cfg3 (Isa.Instr.cmp 0 1));
+  assert (not (Isa.Instr.valid cfg3 (Isa.Instr.cmp 1 0)));
+  assert (not (Isa.Instr.valid cfg3 (Isa.Instr.cmp 1 1)));
+  assert (Isa.Instr.valid cfg3 (Isa.Instr.mov 0 3));
+  assert (not (Isa.Instr.valid cfg3 (Isa.Instr.mov 2 2)));
+  assert (not (Isa.Instr.valid cfg3 (Isa.Instr.cmovl 0 4)))
+
+let test_instr_count () =
+  (* C(k,2) comparisons + 3 * k * (k-1) moves, k = 4. *)
+  check Alcotest.int "n=3 m=1" (6 + 36) (Array.length (Isa.Instr.all cfg3));
+  let cfg5 = Isa.Config.default 5 in
+  check Alcotest.int "n=5 m=1" (15 + 90) (Array.length (Isa.Instr.all cfg5))
+
+let test_instr_all_valid_distinct () =
+  let a = Isa.Instr.all cfg3 in
+  Array.iter (fun i -> assert (Isa.Instr.valid cfg3 i)) a;
+  let l = Array.to_list a in
+  check Alcotest.int "distinct" (List.length l)
+    (List.length (List.sort_uniq Isa.Instr.compare l))
+
+let test_instr_reads_writes () =
+  let open Isa.Instr in
+  check (Alcotest.option Alcotest.int) "mov writes" (Some 0) (writes (mov 0 1));
+  check (Alcotest.option Alcotest.int) "cmp writes" None (writes (cmp 0 1));
+  check (Alcotest.list Alcotest.int) "cmp reads" [ 0; 1 ] (reads (cmp 0 1));
+  check (Alcotest.list Alcotest.int) "cmovl reads" [ 2 ] (reads (cmovl 1 2));
+  assert (is_conditional (cmovg 0 1));
+  assert (not (is_conditional (mov 0 1)))
+
+let test_instr_strings () =
+  check Alcotest.string "to_string" "cmovg r2 s1"
+    (Isa.Instr.to_string cfg3 (Isa.Instr.cmovg 1 3));
+  check Alcotest.string "to_x86" "cmovg rbx, rdi"
+    (Isa.Instr.to_x86 cfg3 (Isa.Instr.cmovg 1 3));
+  (match Isa.Instr.of_string cfg3 "cmp r1, r2" with
+  | Ok i -> check Alcotest.string "parse comma" "cmp r1 r2" (Isa.Instr.to_string cfg3 i)
+  | Error e -> Alcotest.fail e);
+  (match Isa.Instr.of_string cfg3 "cmp r2 r1" with
+  | Ok _ -> Alcotest.fail "should reject non-canonical cmp"
+  | Error _ -> ());
+  match Isa.Instr.of_string cfg3 "bogus r1 r2" with
+  | Ok _ -> Alcotest.fail "should reject unknown opcode"
+  | Error _ -> ()
+
+let test_program_roundtrip () =
+  let p = [| Isa.Instr.mov 3 0; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 0 1 |] in
+  match Isa.Program.of_string cfg3 (Isa.Program.to_string cfg3 p) with
+  | Ok p' -> assert (Isa.Program.equal p p')
+  | Error e -> Alcotest.fail e
+
+let test_program_parse_comments () =
+  match Isa.Program.of_string cfg3 "# header\n\nmov s1 r1\n  cmp r1 r2  \n" with
+  | Ok p -> check Alcotest.int "two instrs" 2 (Isa.Program.length p)
+  | Error e -> Alcotest.fail e
+
+let test_opcode_signature () =
+  let p = [| Isa.Instr.mov 3 0; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 0 1; Isa.Instr.cmovl 1 3 |] in
+  check Alcotest.string "signature" "mcgl" (Isa.Program.opcode_signature p)
+
+let test_opcode_counts_and_score () =
+  let p = [| Isa.Instr.mov 3 0; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 0 1; Isa.Instr.cmovl 1 3 |] in
+  let cmp, mov, cmov, other = Isa.Program.opcode_counts p in
+  check Alcotest.int "cmp" 1 cmp;
+  check Alcotest.int "mov" 1 mov;
+  check Alcotest.int "cmov" 2 cmov;
+  check Alcotest.int "other" 0 other;
+  (* Section 5.3 weights: mov 1, cmp 2, cmov 4. *)
+  check Alcotest.int "score" (1 + 2 + 4 + 4) (Isa.Program.score p)
+
+let test_rename_registers () =
+  let p = [| Isa.Instr.mov 0 1 |] in
+  let p' = Isa.Program.rename_registers p [| 2; 3; 0; 1 |] in
+  check Alcotest.string "renamed" "mov r3 s1" (Isa.Program.to_string cfg3 p')
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"instr parse/print roundtrip" ~count:500
+    QCheck.(int_bound (Array.length (Isa.Instr.all cfg3) - 1))
+    (fun k ->
+      let i = (Isa.Instr.all cfg3).(k) in
+      match Isa.Instr.of_string cfg3 (Isa.Instr.to_string cfg3 i) with
+      | Ok i' -> Isa.Instr.equal i i'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "make" `Quick test_config_make;
+          Alcotest.test_case "register names" `Quick test_reg_names;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "validity" `Quick test_instr_validity;
+          Alcotest.test_case "universe size" `Quick test_instr_count;
+          Alcotest.test_case "universe valid+distinct" `Quick
+            test_instr_all_valid_distinct;
+          Alcotest.test_case "reads/writes" `Quick test_instr_reads_writes;
+          Alcotest.test_case "strings" `Quick test_instr_strings;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_program_roundtrip;
+          Alcotest.test_case "comments" `Quick test_program_parse_comments;
+          Alcotest.test_case "opcode signature" `Quick test_opcode_signature;
+          Alcotest.test_case "counts and score" `Quick
+            test_opcode_counts_and_score;
+          Alcotest.test_case "rename" `Quick test_rename_registers;
+        ] );
+      ("properties", [ qtest prop_parse_print_roundtrip ]);
+    ]

@@ -1,0 +1,149 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg3 = Isa.Config.default 3
+let cfg2 = Isa.Config.default 2
+
+(* The paper's Section 2.2 worked execution for n = 2. *)
+let paper_n2_kernel =
+  [| Isa.Instr.mov 2 1; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 1 0; Isa.Instr.cmovg 0 2 |]
+
+let test_paper_n2_trace () =
+  let st = Machine.Exec.init cfg2 [| 2; 1 |] in
+  Machine.Exec.step st paper_n2_kernel.(0);
+  check (Alcotest.array Alcotest.int) "after mov s1 r2" [| 2; 1; 1 |] st.Machine.Exec.regs;
+  Machine.Exec.step st paper_n2_kernel.(1);
+  assert (st.Machine.Exec.gt && not st.Machine.Exec.lt);
+  Machine.Exec.step st paper_n2_kernel.(2);
+  check (Alcotest.array Alcotest.int) "after cmovg r2 r1" [| 2; 2; 1 |] st.Machine.Exec.regs;
+  Machine.Exec.step st paper_n2_kernel.(3);
+  check (Alcotest.array Alcotest.int) "after cmovg r1 s1" [| 1; 2; 1 |] st.Machine.Exec.regs
+
+let test_paper_n2_sorts () =
+  assert (Machine.Exec.sorts_all_permutations cfg2 paper_n2_kernel)
+
+let test_flags_cleared_on_equal () =
+  let st = Machine.Exec.init cfg2 [| 7; 7 |] in
+  st.Machine.Exec.lt <- true;
+  Machine.Exec.step st (Isa.Instr.cmp 0 1);
+  assert ((not st.Machine.Exec.lt) && not st.Machine.Exec.gt)
+
+let test_cmov_noop_without_flag () =
+  let st = Machine.Exec.init cfg2 [| 1; 2 |] in
+  Machine.Exec.step st (Isa.Instr.cmovg 0 1);
+  Machine.Exec.step st (Isa.Instr.cmovl 0 1);
+  check (Alcotest.array Alcotest.int) "unchanged" [| 1; 2 |]
+    (Array.sub st.Machine.Exec.regs 0 2)
+
+let test_output_correct () =
+  assert (Machine.Exec.output_correct ~input:[| 3; 1; 2 |] ~output:[| 1; 2; 3 |]);
+  assert (not (Machine.Exec.output_correct ~input:[| 3; 1; 2 |] ~output:[| 1; 2; 2 |]));
+  assert (not (Machine.Exec.output_correct ~input:[| 3; 1; 2 |] ~output:[| 2; 1; 3 |]))
+
+let test_counterexample () =
+  (* The identity program fails on the first unsorted permutation. *)
+  check
+    (Alcotest.option (Alcotest.array Alcotest.int))
+    "first failure" (Some [| 1; 3; 2 |])
+    (Machine.Exec.counterexample cfg3 [||]);
+  check
+    (Alcotest.option (Alcotest.array Alcotest.int))
+    "no failure" None
+    (Machine.Exec.counterexample cfg2 paper_n2_kernel)
+
+(* Packed codes agree with the reference interpreter on random programs. *)
+let random_program st cfg len =
+  let instrs = Isa.Instr.all cfg in
+  Array.init len (fun _ -> instrs.(Random.State.int st (Array.length instrs)))
+
+let prop_packed_matches_reference =
+  QCheck.Test.make ~name:"packed executor = reference interpreter" ~count:300
+    QCheck.(pair (int_bound 100000) (int_range 0 15))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let p = random_program st cfg3 len in
+      List.for_all
+        (fun perm ->
+          let code =
+            Machine.Assign.run cfg3 p (Machine.Assign.of_permutation cfg3 perm)
+          in
+          let packed = Machine.Assign.value_regs cfg3 code in
+          let reference = Machine.Exec.run cfg3 p perm in
+          packed = reference)
+        (Perms.all 3))
+
+let prop_flags_match_reference =
+  QCheck.Test.make ~name:"packed flags = reference flags" ~count:300
+    QCheck.(pair (int_bound 100000) (int_range 1 10))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let p = random_program st cfg3 len in
+      List.for_all
+        (fun perm ->
+          let code =
+            Machine.Assign.run cfg3 p (Machine.Assign.of_permutation cfg3 perm)
+          in
+          let mst = Machine.Exec.init cfg3 perm in
+          Array.iter (Machine.Exec.step mst) p;
+          let f = Machine.Assign.flags code in
+          (f = Machine.Assign.flag_lt) = mst.Machine.Exec.lt
+          && (f = Machine.Assign.flag_gt) = mst.Machine.Exec.gt)
+        (Perms.all 3))
+
+let test_pack_roundtrip () =
+  let vs = [| 3; 1; 2; 0 |] in
+  let c = Machine.Assign.of_values cfg3 vs in
+  check (Alcotest.array Alcotest.int) "values" vs (Machine.Assign.values cfg3 c);
+  check (Alcotest.array Alcotest.int) "value regs" [| 3; 1; 2 |]
+    (Machine.Assign.value_regs cfg3 c);
+  check Alcotest.int "flags clear" Machine.Assign.flag_none (Machine.Assign.flags c)
+
+let test_perm_key () =
+  let a = Machine.Assign.of_values cfg3 [| 3; 1; 2; 0 |] in
+  let b = Machine.Assign.of_values cfg3 [| 3; 1; 2; 3 |] in
+  let c = Machine.Assign.of_values cfg3 [| 1; 3; 2; 0 |] in
+  check Alcotest.int "scratch ignored" (Machine.Assign.perm_key cfg3 a)
+    (Machine.Assign.perm_key cfg3 b);
+  assert (Machine.Assign.perm_key cfg3 a <> Machine.Assign.perm_key cfg3 c)
+
+let test_is_sorted_code () =
+  assert (Machine.Assign.is_sorted cfg3 (Machine.Assign.of_values cfg3 [| 1; 2; 3; 3 |]));
+  assert (not (Machine.Assign.is_sorted cfg3 (Machine.Assign.of_values cfg3 [| 1; 3; 2; 0 |])))
+
+let test_viability () =
+  assert (Machine.Assign.viable cfg3 (Machine.Assign.of_values cfg3 [| 3; 1; 2; 0 |]));
+  (* Value 1 lives only in the scratch register: still viable. *)
+  assert (Machine.Assign.viable cfg3 (Machine.Assign.of_values cfg3 [| 3; 2; 2; 1 |]));
+  (* Value 1 erased entirely: dead. *)
+  assert (not (Machine.Assign.viable cfg3 (Machine.Assign.of_values cfg3 [| 3; 2; 2; 3 |])))
+
+let test_random_suite () =
+  assert (
+    Machine.Exec.sorts_random_suite cfg2 paper_n2_kernel ~seed:42 ~cases:500
+      ~lo:(-10000) ~hi:10000);
+  assert (
+    not (Machine.Exec.sorts_random_suite cfg2 [||] ~seed:42 ~cases:500 ~lo:0 ~hi:9))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "paper n=2 trace" `Quick test_paper_n2_trace;
+          Alcotest.test_case "paper n=2 sorts" `Quick test_paper_n2_sorts;
+          Alcotest.test_case "flags on equal" `Quick test_flags_cleared_on_equal;
+          Alcotest.test_case "cmov noop" `Quick test_cmov_noop_without_flag;
+          Alcotest.test_case "output_correct" `Quick test_output_correct;
+          Alcotest.test_case "counterexample" `Quick test_counterexample;
+          Alcotest.test_case "random suite" `Quick test_random_suite;
+        ] );
+      ( "assign",
+        [
+          Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+          Alcotest.test_case "perm_key" `Quick test_perm_key;
+          Alcotest.test_case "is_sorted" `Quick test_is_sorted_code;
+          Alcotest.test_case "viability" `Quick test_viability;
+        ] );
+      ( "properties",
+        [ qtest prop_packed_matches_reference; qtest prop_flags_match_reference ]
+      );
+    ]

@@ -1,0 +1,192 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg3 = Isa.Config.default 3
+
+(* --- Cost model --- *)
+
+let test_analysis_counts () =
+  let a = Perf.Cost.analyze cfg3 Perf.Kernels.paper_sort3 in
+  check Alcotest.int "instructions" 11 a.Perf.Cost.instructions;
+  check Alcotest.int "uops" 11 a.Perf.Cost.total_uops;
+  assert (a.Perf.Cost.critical_path > 0);
+  assert (a.Perf.Cost.throughput > 0.)
+
+let test_moves_have_zero_latency () =
+  (* A pure mov chain has a zero-latency critical path (renamed away). *)
+  let movs = [| Isa.Instr.mov 3 0; Isa.Instr.mov 1 3; Isa.Instr.mov 2 1 |] in
+  let a = Perf.Cost.analyze cfg3 movs in
+  check Alcotest.int "critical path" 0 a.Perf.Cost.critical_path
+
+let test_dependent_chain_latency () =
+  (* cmp -> cmovl -> cmp -> cmovl: latency accumulates. *)
+  let p = [| Isa.Instr.cmp 0 1; Isa.Instr.cmovl 0 1; Isa.Instr.cmp 0 2; Isa.Instr.cmovl 0 2 |] in
+  let a = Perf.Cost.analyze cfg3 p in
+  check Alcotest.int "chain of 4" 4 a.Perf.Cost.critical_path
+
+let test_dependence_edges () =
+  let p = [| Isa.Instr.cmp 0 1; Isa.Instr.cmovl 0 1 |] in
+  let edges = Perf.Cost.dependence_edges cfg3 p in
+  (* The cmov depends on the cmp via the flags (and reads regs written by
+     nothing else). *)
+  assert (List.mem (0, 1) edges)
+
+let test_network_kernel_worse_than_synth () =
+  (* The 12-instruction network kernel cannot beat the 11-instruction
+     synthesized kernel under the cost model. *)
+  let synth = Perf.Cost.predicted_cost cfg3 Perf.Kernels.paper_sort3 in
+  let net = Perf.Cost.predicted_cost cfg3 (Perf.Kernels.network 3) in
+  assert (synth <= net)
+
+(* --- Workloads --- *)
+
+let test_insertion_sort () =
+  let a = [| 9; 3; 7; 1; 5 |] in
+  Perf.Workload.insertion_sort a ~lo:0 ~hi:4;
+  check (Alcotest.array Alcotest.int) "sorted" [| 1; 3; 5; 7; 9 |] a;
+  let b = [| 99; 3; 1; 98 |] in
+  Perf.Workload.insertion_sort b ~lo:1 ~hi:2;
+  check (Alcotest.array Alcotest.int) "partial" [| 99; 1; 3; 98 |] b
+
+let sorter3 = Perf.Compile.kernel ~name:"k" cfg3 Perf.Kernels.paper_sort3
+
+let prop_quicksort_sorts =
+  QCheck.Test.make ~name:"quicksort with kernel base sorts" ~count:200
+    QCheck.(pair (int_bound 100000) (int_range 0 400))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let input = Array.init len (fun _ -> Random.State.int st 1000 - 500) in
+      let a = Array.copy input in
+      Perf.Workload.quicksort ~base:sorter3 a;
+      Machine.Exec.output_correct ~input ~output:a)
+
+let prop_mergesort_sorts =
+  QCheck.Test.make ~name:"mergesort with kernel base sorts" ~count:200
+    QCheck.(pair (int_bound 100000) (int_range 0 400))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let input = Array.init len (fun _ -> Random.State.int st 1000 - 500) in
+      let a = Array.copy input in
+      Perf.Workload.mergesort ~base:sorter3 a;
+      Machine.Exec.output_correct ~input ~output:a)
+
+let prop_sorts_agree =
+  QCheck.Test.make ~name:"quicksort = mergesort = stdlib" ~count:200
+    QCheck.(pair (int_bound 100000) (int_range 0 200))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let input = Array.init len (fun _ -> Random.State.int st 50) in
+      let q = Array.copy input and m = Array.copy input and s = Array.copy input in
+      Perf.Workload.quicksort ~base:sorter3 q;
+      Perf.Workload.mergesort ~base:sorter3 m;
+      Array.sort compare s;
+      q = s && m = s)
+
+(* --- Measure --- *)
+
+let test_rank_rows () =
+  let rows = Perf.Measure.rank_rows [ ("slow", 3.0); ("fast", 1.0); ("mid", 2.0) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "ranked"
+    [ ("fast", 1); ("mid", 2); ("slow", 3) ]
+    (List.map (fun r -> (r.Perf.Measure.name, r.Perf.Measure.rank)) rows)
+
+let test_standalone_measures_all () =
+  let rows =
+    Perf.Measure.standalone ~cases:50 ~iters:2 [ sorter3; Perf.Baselines.swap 3 ]
+  in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  List.iter (fun r -> assert (r.Perf.Measure.time_ns > 0.)) rows
+
+(* --- tSNE --- *)
+
+let clusters =
+  (* Two well-separated clusters of 10 points in 5-D. *)
+  let st = Random.State.make [| 9 |] in
+  Array.init 20 (fun i ->
+      let base = if i < 10 then 0.0 else 30.0 in
+      Array.init 5 (fun _ -> base +. Random.State.float st 1.0))
+
+let test_tsne_shapes () =
+  let emb = Tsne.embed ~opts:{ Tsne.default with Tsne.iterations = 120 } clusters in
+  check Alcotest.int "20 points" 20 (Array.length emb);
+  Array.iter
+    (fun p ->
+      check Alcotest.int "2-D" 2 (Array.length p);
+      Array.iter (fun x -> assert (Float.is_finite x)) p)
+    emb
+
+let test_tsne_separates_clusters () =
+  let emb = Tsne.embed ~opts:{ Tsne.default with Tsne.iterations = 200 } clusters in
+  let centroid lo hi =
+    let cx = ref 0. and cy = ref 0. in
+    for i = lo to hi do
+      cx := !cx +. emb.(i).(0);
+      cy := !cy +. emb.(i).(1)
+    done;
+    (!cx /. 10., !cy /. 10.)
+  in
+  let ax, ay = centroid 0 9 and bx, by = centroid 10 19 in
+  let between = sqrt (((ax -. bx) ** 2.) +. ((ay -. by) ** 2.)) in
+  (* Mean intra-cluster distance to centroid. *)
+  let spread lo hi cx cy =
+    let s = ref 0. in
+    for i = lo to hi do
+      s := !s +. sqrt (((emb.(i).(0) -. cx) ** 2.) +. ((emb.(i).(1) -. cy) ** 2.))
+    done;
+    !s /. 10.
+  in
+  assert (between > spread 0 9 ax ay);
+  assert (between > spread 10 19 bx by)
+
+let test_tsne_kl_improves_over_random () =
+  let opts = { Tsne.default with Tsne.iterations = 150 } in
+  let emb = Tsne.embed ~opts clusters in
+  let st = Random.State.make [| 4 |] in
+  let random_emb =
+    Array.init 20 (fun _ ->
+        [| Random.State.float st 1.0; Random.State.float st 1.0 |])
+  in
+  let perp = 5.0 in
+  assert (
+    Tsne.kl_divergence clusters emb perp
+    < Tsne.kl_divergence clusters random_emb perp)
+
+let test_tsne_input_validation () =
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Tsne.embed: need at least 4 points") (fun () ->
+      ignore (Tsne.embed [| [| 1. |]; [| 2. |] |]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Tsne.embed: ragged input") (fun () ->
+      ignore (Tsne.embed [| [| 1. |]; [| 2. |]; [| 3.; 4. |]; [| 5. |] |]))
+
+let () =
+  Alcotest.run "perf-tsne"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "analysis counts" `Quick test_analysis_counts;
+          Alcotest.test_case "mov latency 0" `Quick test_moves_have_zero_latency;
+          Alcotest.test_case "dependent chain" `Quick test_dependent_chain_latency;
+          Alcotest.test_case "dependence edges" `Quick test_dependence_edges;
+          Alcotest.test_case "network vs synth cost" `Quick
+            test_network_kernel_worse_than_synth;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "insertion sort" `Quick test_insertion_sort;
+          Alcotest.test_case "rank rows" `Quick test_rank_rows;
+          Alcotest.test_case "standalone measure" `Quick test_standalone_measures_all;
+        ] );
+      ( "tsne",
+        [
+          Alcotest.test_case "shapes" `Quick test_tsne_shapes;
+          Alcotest.test_case "separates clusters" `Quick test_tsne_separates_clusters;
+          Alcotest.test_case "KL better than random" `Quick
+            test_tsne_kl_improves_over_random;
+          Alcotest.test_case "validation" `Quick test_tsne_input_validation;
+        ] );
+      ( "properties",
+        [ qtest prop_quicksort_sorts; qtest prop_mergesort_sorts; qtest prop_sorts_agree ]
+      );
+    ]

@@ -1,0 +1,127 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_factorial () =
+  check Alcotest.int "0!" 1 (Perms.factorial 0);
+  check Alcotest.int "1!" 1 (Perms.factorial 1);
+  check Alcotest.int "5!" 120 (Perms.factorial 5);
+  check Alcotest.int "10!" 3628800 (Perms.factorial 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Perms.factorial: negative")
+    (fun () -> ignore (Perms.factorial (-1)))
+
+let test_all_counts () =
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "|all %d|" n)
+        (Perms.factorial n)
+        (List.length (Perms.all n)))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+let test_all_distinct_and_valid () =
+  let ps = Perms.all 4 in
+  List.iter (fun p -> assert (Perms.is_permutation p)) ps;
+  let sorted = List.sort_uniq compare ps in
+  check Alcotest.int "all distinct" (List.length ps) (List.length sorted)
+
+let test_all_lex_order () =
+  let ps = Perms.all 3 in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.int))
+    "lexicographic"
+    [
+      [| 1; 2; 3 |]; [| 1; 3; 2 |]; [| 2; 1; 3 |]; [| 2; 3; 1 |]; [| 3; 1; 2 |];
+      [| 3; 2; 1 |];
+    ]
+    ps
+
+let test_is_sorted () =
+  assert (Perms.is_sorted [||]);
+  assert (Perms.is_sorted [| 1 |]);
+  assert (Perms.is_sorted [| 1; 1; 2 |]);
+  assert (not (Perms.is_sorted [| 2; 1 |]))
+
+let test_is_identity () =
+  assert (Perms.is_identity [| 1; 2; 3 |]);
+  assert (not (Perms.is_identity [| 1; 3; 2 |]));
+  assert (Perms.is_identity [||])
+
+let test_is_permutation () =
+  assert (Perms.is_permutation [| 3; 1; 2 |]);
+  assert (not (Perms.is_permutation [| 1; 1; 3 |]));
+  assert (not (Perms.is_permutation [| 0; 1; 2 |]));
+  assert (not (Perms.is_permutation [| 1; 2; 4 |]))
+
+let test_rank_unrank_roundtrip () =
+  List.iteri
+    (fun i p ->
+      check Alcotest.int "rank of all.(i)" i (Perms.rank p);
+      check (Alcotest.array Alcotest.int) "unrank . rank" p
+        (Perms.unrank 4 (Perms.rank p)))
+    (Perms.all 4)
+
+let test_inversions () =
+  check Alcotest.int "sorted" 0 (Perms.inversions [| 1; 2; 3 |]);
+  check Alcotest.int "reversed" 3 (Perms.inversions [| 3; 2; 1 |]);
+  check Alcotest.int "one swap" 1 (Perms.inversions [| 2; 1; 3 |])
+
+let test_apply () =
+  check (Alcotest.array Alcotest.string) "permute"
+    [| "c"; "a"; "b" |]
+    (Perms.apply [| 3; 1; 2 |] [| "a"; "b"; "c" |])
+
+let test_same_multiset () =
+  assert (Perms.same_multiset [| 1; 2; 2 |] [| 2; 1; 2 |]);
+  assert (not (Perms.same_multiset [| 1; 2; 2 |] [| 1; 1; 2 |]));
+  assert (not (Perms.same_multiset [| 1 |] [| 1; 1 |]))
+
+let prop_random_is_permutation =
+  QCheck.Test.make ~name:"random produces permutations" ~count:200
+    QCheck.(pair (int_bound 1000) (int_range 1 8))
+    (fun (seed, n) ->
+      Perms.is_permutation (Perms.random (Random.State.make [| seed |]) n))
+
+let prop_unrank_is_permutation =
+  QCheck.Test.make ~name:"unrank produces permutations" ~count:200
+    QCheck.(int_bound (Perms.factorial 6 - 1))
+    (fun r -> Perms.is_permutation (Perms.unrank 6 r))
+
+let prop_rank_unrank =
+  QCheck.Test.make ~name:"rank . unrank = id" ~count:200
+    QCheck.(int_bound (Perms.factorial 6 - 1))
+    (fun r -> Perms.rank (Perms.unrank 6 r) = r)
+
+let prop_inversions_zero_iff_sorted =
+  QCheck.Test.make ~name:"inversions = 0 iff sorted" ~count:200
+    QCheck.(pair (int_bound 1000) (int_range 1 7))
+    (fun (seed, n) ->
+      let p = Perms.random (Random.State.make [| seed |]) n in
+      Perms.inversions p = 0 = Perms.is_sorted p)
+
+let () =
+  Alcotest.run "perms"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "all: counts" `Quick test_all_counts;
+          Alcotest.test_case "all: distinct and valid" `Quick
+            test_all_distinct_and_valid;
+          Alcotest.test_case "all: lex order" `Quick test_all_lex_order;
+          Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+          Alcotest.test_case "is_identity" `Quick test_is_identity;
+          Alcotest.test_case "is_permutation" `Quick test_is_permutation;
+          Alcotest.test_case "rank/unrank roundtrip" `Quick
+            test_rank_unrank_roundtrip;
+          Alcotest.test_case "inversions" `Quick test_inversions;
+          Alcotest.test_case "apply" `Quick test_apply;
+          Alcotest.test_case "same_multiset" `Quick test_same_multiset;
+        ] );
+      ( "properties",
+        [
+          qtest prop_random_is_permutation;
+          qtest prop_unrank_is_permutation;
+          qtest prop_rank_unrank;
+          qtest prop_inversions_zero_iff_sorted;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+let qtest = QCheck_alcotest.to_alcotest
+
+let solve_clauses nvars clauses =
+  let s = Sat.create () in
+  Sat.ensure_vars s nvars;
+  List.iter (Sat.add_clause s) clauses;
+  match Sat.solve s with Some r -> r | None -> Alcotest.fail "budget"
+
+let is_sat = function Sat.Sat _ -> true | Sat.Unsat -> false
+
+let model_satisfies model clauses =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l -> if l > 0 then model.(l) else not model.(-l))
+        clause)
+    clauses
+
+let test_trivial_sat () =
+  match solve_clauses 2 [ [ 1 ]; [ -2 ] ] with
+  | Sat.Sat m ->
+      assert m.(1);
+      assert (not m.(2))
+  | Sat.Unsat -> Alcotest.fail "should be SAT"
+
+let test_trivial_unsat () =
+  assert (not (is_sat (solve_clauses 1 [ [ 1 ]; [ -1 ] ])))
+
+let test_empty_clause () =
+  assert (not (is_sat (solve_clauses 1 [ [] ])))
+
+let test_no_clauses () = assert (is_sat (solve_clauses 3 []))
+
+let test_propagation_chain () =
+  (* x1 -> x2 -> ... -> x6, x1 forced. *)
+  let clauses =
+    [ 1 ] :: List.init 5 (fun i -> [ -(i + 1); i + 2 ])
+  in
+  match solve_clauses 6 clauses with
+  | Sat.Sat m -> for v = 1 to 6 do assert m.(v) done
+  | Sat.Unsat -> Alcotest.fail "SAT expected"
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: UNSAT. Var p(i,h) = 2i + h - 2 for i in 1..3. *)
+  let v i h = ((i - 1) * 2) + h in
+  let clauses =
+    [ [ v 1 1; v 1 2 ]; [ v 2 1; v 2 2 ]; [ v 3 1; v 3 2 ] ]
+    @ List.concat_map
+        (fun h ->
+          [ [ -(v 1 h); -(v 2 h) ]; [ -(v 1 h); -(v 3 h) ]; [ -(v 2 h); -(v 3 h) ] ])
+        [ 1; 2 ]
+  in
+  assert (not (is_sat (solve_clauses 6 clauses)))
+
+let test_pigeonhole_4_3 () =
+  let v i h = ((i - 1) * 3) + h in
+  let at_least = List.init 4 (fun i -> [ v (i + 1) 1; v (i + 1) 2; v (i + 1) 3 ]) in
+  let conflicts =
+    List.concat_map
+      (fun h ->
+        let pairs = ref [] in
+        for i = 1 to 4 do
+          for j = i + 1 to 4 do
+            pairs := [ -(v i h); -(v j h) ] :: !pairs
+          done
+        done;
+        !pairs)
+      [ 1; 2; 3 ]
+  in
+  assert (not (is_sat (solve_clauses 12 (at_least @ conflicts))))
+
+let test_xor_chain_sat () =
+  (* x1 xor x2 = 1, x2 xor x3 = 1, x1 = 1  =>  x3 = 1. *)
+  let xor a b =
+    [ [ a; b ]; [ -a; -b ] ]
+  in
+  match solve_clauses 3 ([ [ 1 ] ] @ xor 1 2 @ xor 2 3) with
+  | Sat.Sat m ->
+      assert m.(1);
+      assert (not m.(2));
+      assert m.(3)
+  | Sat.Unsat -> Alcotest.fail "SAT expected"
+
+let test_assumptions () =
+  let s = Sat.create () in
+  Sat.ensure_vars s 2;
+  Sat.add_clause s [ -1; 2 ];
+  (match Sat.solve ~assumptions:[ 1; -2 ] s with
+  | Some Sat.Unsat -> ()
+  | _ -> Alcotest.fail "assumptions should conflict");
+  (* Solver remains usable with different assumptions. *)
+  match Sat.solve ~assumptions:[ 1 ] s with
+  | Some (Sat.Sat m) ->
+      assert m.(1);
+      assert m.(2)
+  | _ -> Alcotest.fail "SAT expected"
+
+let test_incremental () =
+  let s = Sat.create () in
+  Sat.ensure_vars s 3;
+  Sat.add_clause s [ 1; 2 ];
+  (match Sat.solve s with Some (Sat.Sat _) -> () | _ -> Alcotest.fail "SAT");
+  Sat.add_clause s [ -1 ];
+  (match Sat.solve s with
+  | Some (Sat.Sat m) -> assert m.(2)
+  | _ -> Alcotest.fail "SAT after adding");
+  Sat.add_clause s [ -2 ];
+  match Sat.solve s with
+  | Some Sat.Unsat -> ()
+  | _ -> Alcotest.fail "UNSAT after closing"
+
+(* Reference DPLL for cross-checking on small random instances. *)
+let rec dpll clauses assignment nvars =
+  if List.exists (( = ) []) clauses then false
+  else if List.length assignment = nvars then true
+  else begin
+    let v = List.length assignment + 1 in
+    let try_value b =
+      let l = if b then v else -v in
+      let clauses' =
+        List.filter_map
+          (fun c ->
+            if List.mem l c then None else Some (List.filter (( <> ) (-l)) c))
+          clauses
+      in
+      dpll clauses' ((v, b) :: assignment) nvars
+    in
+    try_value true || try_value false
+  end
+
+let random_3sat st nvars nclauses =
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ ->
+          let v = 1 + Random.State.int st nvars in
+          if Random.State.bool st then v else -v))
+
+let prop_matches_dpll =
+  QCheck.Test.make ~name:"CDCL agrees with reference DPLL" ~count:150
+    QCheck.(pair (int_bound 100000) (int_range 4 30))
+    (fun (seed, nclauses) ->
+      let st = Random.State.make [| seed |] in
+      let nvars = 8 in
+      let clauses = random_3sat st nvars nclauses in
+      let expected = dpll clauses [] nvars in
+      match solve_clauses nvars clauses with
+      | Sat.Sat m -> expected && model_satisfies m clauses
+      | Sat.Unsat -> not expected)
+
+let prop_models_valid =
+  QCheck.Test.make ~name:"returned models satisfy all clauses" ~count:150
+    QCheck.(pair (int_bound 100000) (int_range 10 80))
+    (fun (seed, nclauses) ->
+      let st = Random.State.make [| seed |] in
+      let nvars = 20 in
+      let clauses = random_3sat st nvars nclauses in
+      match solve_clauses nvars clauses with
+      | Sat.Sat m -> model_satisfies m clauses
+      | Sat.Unsat -> true)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "no clauses" `Quick test_no_clauses;
+          Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+          Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "pigeonhole 4/3" `Quick test_pigeonhole_4_3;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain_sat;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+        ] );
+      ("properties", [ qtest prop_matches_dpll; qtest prop_models_valid ]);
+    ]

@@ -1,0 +1,190 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let verify cfg p = Machine.Exec.sorts_all_permutations cfg p
+
+let test_n1_trivial () =
+  let r = Search.run (Isa.Config.default 1) in
+  check (Alcotest.option Alcotest.int) "length 0" (Some 0) r.Search.optimal_length
+
+let test_n2_optimal_length () =
+  let cfg = Isa.Config.default 2 in
+  let r = Search.run_mode ~mode:Search.All_optimal cfg in
+  check (Alcotest.option Alcotest.int) "n=2 optimum is 4" (Some 4)
+    r.Search.optimal_length;
+  assert (r.Search.solution_count > 0);
+  List.iter (fun p -> assert (verify cfg p)) r.Search.programs
+
+let test_n3_optimal_length_best () =
+  let cfg = Isa.Config.default 3 in
+  let r = Search.run ~opts:Search.best cfg in
+  check (Alcotest.option Alcotest.int) "n=3 optimum is 11" (Some 11)
+    r.Search.optimal_length;
+  List.iter (fun p -> assert (verify cfg p)) r.Search.programs
+
+let test_n3_dijkstra_certifies () =
+  (* Level-sync with an admissible setup certifies the minimum. We bound the
+     search at 11 to keep the test fast; finding any solution at 11 plus
+     exhausting shallower levels is the certificate. *)
+  let cfg = Isa.Config.default 3 in
+  let opts =
+    { Search.best with Search.engine = Search.Level_sync; max_len = Some 11 }
+  in
+  let r = Search.run ~opts cfg in
+  check (Alcotest.option Alcotest.int) "certified 11" (Some 11)
+    r.Search.optimal_length
+
+let test_n3_all_configs_agree () =
+  let cfg = Isa.Config.default 3 in
+  List.iter
+    (fun (name, opts) ->
+      let r = Search.run ~opts cfg in
+      match r.Search.programs with
+      | p :: _ ->
+          if not (verify cfg p) then Alcotest.failf "%s: incorrect kernel" name;
+          if Array.length p <> 11 then
+            Alcotest.failf "%s: non-optimal length %d" name (Array.length p)
+      | [] -> Alcotest.failf "%s: no kernel found" name)
+    [
+      ("best", Search.best);
+      ("best_preserving", Search.best_preserving);
+      ("perm_count", { Search.default with Search.heuristic = Search.Perm_count });
+      ( "assign_count",
+        { Search.default with Search.heuristic = Search.Assign_count } );
+      ( "dist_bound",
+        { Search.default with Search.heuristic = Search.Dist_bound } );
+      ( "cut_add2",
+        {
+          Search.default with
+          Search.heuristic = Search.Perm_count;
+          cut = Search.Add 2;
+        } );
+      ( "level_sync_cut1",
+        {
+          Search.best with
+          Search.engine = Search.Level_sync;
+          action_filter = Search.All_actions;
+        } );
+    ]
+
+let test_prove_none_below_optimum () =
+  (* No sorting kernel for n=3 of length <= 10 exists: the paper's
+     lower-bound methodology at a size our test budget affords. *)
+  let cfg = Isa.Config.default 3 in
+  let opts = { Search.default with Search.max_len = Some 10 } in
+  let r = Search.run_mode ~opts ~mode:(Search.Prove_none 10) cfg in
+  check (Alcotest.option Alcotest.int) "no solution <= 10" None
+    r.Search.optimal_length;
+  check Alcotest.int "no programs" 0 (List.length r.Search.programs)
+
+let test_n2_prove_none_3 () =
+  let cfg = Isa.Config.default 2 in
+  let r = Search.run_mode ~mode:(Search.Prove_none 3) cfg in
+  check (Alcotest.option Alcotest.int) "no n=2 kernel of length 3" None
+    r.Search.optimal_length
+
+let test_all_optimal_counts_monotone_in_k () =
+  let cfg = Isa.Config.default 3 in
+  let count k =
+    let opts =
+      {
+        Search.best with
+        Search.engine = Search.Level_sync;
+        action_filter = Search.All_actions;
+        cut = k;
+        max_solutions = 1;
+      }
+    in
+    (Search.run_mode ~opts ~mode:Search.All_optimal cfg).Search.solution_count
+  in
+  let c1 = count (Search.Mult 1.0) in
+  let c15 = count (Search.Mult 1.5) in
+  assert (c1 > 0);
+  assert (c1 <= c15)
+
+let test_max_solutions_cap () =
+  let cfg = Isa.Config.default 3 in
+  let opts =
+    { Search.best with Search.engine = Search.Level_sync; max_solutions = 7 }
+  in
+  let r = Search.run_mode ~opts ~mode:Search.All_optimal cfg in
+  assert (List.length r.Search.programs <= 7);
+  assert (r.Search.solution_count >= List.length r.Search.programs)
+
+let test_trace_collection () =
+  let cfg = Isa.Config.default 3 in
+  let opts = { Search.best with Search.trace_every = Some 100 } in
+  let r = Search.run ~opts cfg in
+  assert (List.length r.Search.stats.Search.timeline > 0);
+  (* Timeline is oldest-first and time-monotone. *)
+  let ts = List.map (fun p -> p.Search.t) r.Search.stats.Search.timeline in
+  assert (List.sort compare ts = ts)
+
+let test_stats_sanity () =
+  let cfg = Isa.Config.default 3 in
+  let r = Search.run ~opts:Search.best cfg in
+  let s = r.Search.stats in
+  assert (s.Search.expanded > 0);
+  assert (s.Search.generated >= s.Search.expanded);
+  assert (s.Search.elapsed >= 0.)
+
+let test_bound_too_small_returns_none () =
+  let cfg = Isa.Config.default 2 in
+  let opts = { Search.default with Search.max_len = Some 2 } in
+  let r = Search.run ~opts cfg in
+  check Alcotest.int "no programs" 0 (List.length r.Search.programs)
+
+(* Every enumerated optimal program is distinct and correct. *)
+let test_all_optimal_programs_distinct_correct () =
+  let cfg = Isa.Config.default 3 in
+  let opts =
+    { Search.best with Search.engine = Search.Level_sync; max_solutions = 200 }
+  in
+  let r = Search.run_mode ~opts ~mode:Search.All_optimal cfg in
+  let ps = r.Search.programs in
+  assert (ps <> []);
+  List.iter (fun p -> assert (verify cfg p)) ps;
+  let distinct = List.sort_uniq compare ps in
+  check Alcotest.int "programs distinct" (List.length ps) (List.length distinct)
+
+let prop_synthesized_kernels_sort_random_inputs =
+  let cfg = Isa.Config.default 3 in
+  let p =
+    match Search.synthesize 3 with Some p -> p | None -> failwith "no kernel"
+  in
+  QCheck.Test.make ~name:"synthesized n=3 kernel sorts arbitrary ints" ~count:500
+    QCheck.(triple small_signed_int small_signed_int small_signed_int)
+    (fun (a, b, c) ->
+      let input = [| a; b; c |] in
+      let output = Machine.Exec.run cfg p input in
+      Machine.Exec.output_correct ~input ~output)
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "find-first",
+        [
+          Alcotest.test_case "n=1 trivial" `Quick test_n1_trivial;
+          Alcotest.test_case "n=2 optimal length 4" `Quick test_n2_optimal_length;
+          Alcotest.test_case "n=3 best finds 11" `Quick test_n3_optimal_length_best;
+          Alcotest.test_case "n=3 dijkstra certifies 11" `Quick
+            test_n3_dijkstra_certifies;
+          Alcotest.test_case "all configs agree" `Slow test_n3_all_configs_agree;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+          Alcotest.test_case "trace collection" `Quick test_trace_collection;
+          Alcotest.test_case "bound too small" `Quick
+            test_bound_too_small_returns_none;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "prove none n=3 <= 10" `Slow
+            test_prove_none_below_optimum;
+          Alcotest.test_case "prove none n=2 <= 3" `Quick test_n2_prove_none_3;
+          Alcotest.test_case "cut monotone" `Slow
+            test_all_optimal_counts_monotone_in_k;
+          Alcotest.test_case "max_solutions cap" `Quick test_max_solutions_cap;
+          Alcotest.test_case "all-optimal distinct+correct" `Quick
+            test_all_optimal_programs_distinct_correct;
+        ] );
+      ("properties", [ qtest prop_synthesized_kernels_sort_random_inputs ]);
+    ]

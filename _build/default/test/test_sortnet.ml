@@ -1,0 +1,125 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_optimal_sizes () =
+  (* Knuth's optimal comparator counts for n = 1..8. *)
+  List.iteri
+    (fun i expected ->
+      check Alcotest.int
+        (Printf.sprintf "size n=%d" (i + 1))
+        expected
+        (Sortnet.size (Sortnet.optimal (i + 1))))
+    [ 0; 1; 3; 5; 9; 12; 16; 19 ]
+
+let test_optimal_sorts () =
+  for n = 1 to 8 do
+    assert (Sortnet.sorts_all_binary (Sortnet.optimal n))
+  done
+
+let test_zero_one_lemma_agrees () =
+  (* The 0-1 check and the full permutation check agree on valid and on
+     broken networks. *)
+  for n = 2 to 6 do
+    let good = Sortnet.optimal n in
+    assert (Sortnet.sorts_all_binary good = Sortnet.sorts_all_permutations good);
+    let broken = Sortnet.make n (List.tl good.Sortnet.comparators) in
+    assert (
+      Sortnet.sorts_all_binary broken = Sortnet.sorts_all_permutations broken)
+  done
+
+let test_bose_nelson () =
+  for n = 1 to 8 do
+    let net = Sortnet.bose_nelson n in
+    assert (Sortnet.sorts_all_binary net)
+  done;
+  (* Bose-Nelson is size-optimal up to n = 8 for n <= 5. *)
+  check Alcotest.int "n=3" 3 (Sortnet.size (Sortnet.bose_nelson 3));
+  check Alcotest.int "n=4" 5 (Sortnet.size (Sortnet.bose_nelson 4));
+  check Alcotest.int "n=5" 9 (Sortnet.size (Sortnet.bose_nelson 5))
+
+let test_batcher () =
+  for n = 1 to 10 do
+    assert (n > 8 || Sortnet.sorts_all_binary (Sortnet.batcher n))
+  done;
+  assert (Sortnet.sorts_all_permutations (Sortnet.batcher 7))
+
+let test_insertion () =
+  for n = 1 to 7 do
+    assert (Sortnet.sorts_all_binary (Sortnet.insertion n))
+  done;
+  check Alcotest.int "quadratic size" (6 * 5 / 2) (Sortnet.size (Sortnet.insertion 6))
+
+let test_depth () =
+  check Alcotest.int "n=1 depth" 0 (Sortnet.depth (Sortnet.optimal 1));
+  check Alcotest.int "n=2 depth" 1 (Sortnet.depth (Sortnet.optimal 2));
+  check Alcotest.int "n=3 depth" 3 (Sortnet.depth (Sortnet.optimal 3));
+  assert (Sortnet.depth (Sortnet.insertion 6) >= Sortnet.depth (Sortnet.batcher 6))
+
+let test_make_validation () =
+  Alcotest.check_raises "reversed comparator"
+    (Invalid_argument "Sortnet.make: comparator out of range or not i < j")
+    (fun () -> ignore (Sortnet.make 3 [ (1, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Sortnet.make: comparator out of range or not i < j")
+    (fun () -> ignore (Sortnet.make 3 [ (0, 3) ]))
+
+let test_apply () =
+  check (Alcotest.array Alcotest.int) "sorts a triple" [| 1; 2; 3 |]
+    (Sortnet.apply (Sortnet.optimal 3) [| 3; 1; 2 |]);
+  check (Alcotest.array Alcotest.int) "stable on duplicates" [| 1; 1; 2 |]
+    (Sortnet.apply (Sortnet.optimal 3) [| 2; 1; 1 |])
+
+(* Compiling a network to a cmov kernel preserves its behaviour. *)
+let test_to_kernel_sizes () =
+  let cfg = Isa.Config.default 3 in
+  let k = Sortnet.to_kernel cfg (Sortnet.optimal 3) in
+  (* 4 instructions per compare-and-swap (paper, Section 2.1). *)
+  check Alcotest.int "3 comparators -> 12 instrs" 12 (Isa.Program.length k)
+
+let test_to_kernel_correct () =
+  for n = 2 to 5 do
+    let cfg = Isa.Config.default n in
+    let k = Sortnet.to_kernel cfg (Sortnet.optimal n) in
+    assert (Machine.Exec.sorts_all_permutations cfg k)
+  done
+
+let prop_kernel_matches_network =
+  QCheck.Test.make ~name:"compiled kernel = network on random inputs" ~count:300
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let st = Random.State.make [| seed |] in
+      let cfg = Isa.Config.default n in
+      let net = Sortnet.optimal n in
+      let kernel = Sortnet.to_kernel cfg net in
+      let input = Array.init n (fun _ -> Random.State.int st 2000 - 1000) in
+      Machine.Exec.run cfg kernel input = Sortnet.apply net input)
+
+let prop_batcher_sorts_random =
+  QCheck.Test.make ~name:"batcher sorts random arrays" ~count:300
+    QCheck.(pair (int_bound 100000) (int_range 1 16))
+    (fun (seed, n) ->
+      let st = Random.State.make [| seed |] in
+      let input = Array.init n (fun _ -> Random.State.int st 100) in
+      Perms.is_sorted (Sortnet.apply (Sortnet.batcher n) input))
+
+let () =
+  Alcotest.run "sortnet"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "optimal sizes" `Quick test_optimal_sizes;
+          Alcotest.test_case "optimal sorts" `Quick test_optimal_sorts;
+          Alcotest.test_case "0-1 lemma" `Quick test_zero_one_lemma_agrees;
+          Alcotest.test_case "bose-nelson" `Quick test_bose_nelson;
+          Alcotest.test_case "batcher" `Quick test_batcher;
+          Alcotest.test_case "insertion" `Quick test_insertion;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "apply" `Quick test_apply;
+          Alcotest.test_case "kernel size" `Quick test_to_kernel_sizes;
+          Alcotest.test_case "kernel correct" `Quick test_to_kernel_correct;
+        ] );
+      ( "properties",
+        [ qtest prop_kernel_matches_network; qtest prop_batcher_sorts_random ]
+      );
+    ]

@@ -1,0 +1,118 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg = Isa.Config.default 3
+
+let test_initial () =
+  let s = Sstate.initial cfg in
+  check Alcotest.int "6 distinct assignments" 6 (Sstate.size s);
+  check Alcotest.int "6 distinct perms" 6 (Sstate.distinct_perms cfg s);
+  assert (Sstate.all_viable cfg s);
+  assert (not (Sstate.is_final cfg s))
+
+let test_canonical_sorted_dedup () =
+  let c1 = Machine.Assign.of_values cfg [| 1; 2; 3; 0 |] in
+  let c2 = Machine.Assign.of_values cfg [| 3; 2; 1; 0 |] in
+  let s = Sstate.of_codes [| c2; c1; c2; c1; c2 |] in
+  check Alcotest.int "deduplicated" 2 (Sstate.size s);
+  let arr = Sstate.codes s in
+  assert (arr.(0) < arr.(1))
+
+let test_of_codes_does_not_mutate () =
+  let input = [| 5; 3; 3; 1 |] in
+  let copy = Array.copy input in
+  ignore (Sstate.of_codes input);
+  check (Alcotest.array Alcotest.int) "input untouched" copy input
+
+let test_apply_converges () =
+  (* cmp r1 r2; cmovl ... on n=2: the two permutations converge. *)
+  let cfg2 = Isa.Config.default 2 in
+  let s = Sstate.initial cfg2 in
+  check Alcotest.int "initially 2 perms" 2 (Sstate.distinct_perms cfg2 s);
+  let s = Sstate.apply cfg2 (Isa.Instr.mov 2 1) s in
+  let s = Sstate.apply cfg2 (Isa.Instr.cmp 0 1) s in
+  let s = Sstate.apply cfg2 (Isa.Instr.cmovg 1 0) s in
+  let s = Sstate.apply cfg2 (Isa.Instr.cmovg 0 2) s in
+  assert (Sstate.is_final cfg2 s);
+  check Alcotest.int "converged to 1 perm" 1 (Sstate.distinct_perms cfg2 s)
+
+let test_distinct_perms_vs_assignments () =
+  (* Two codes equal on value registers but different scratch. *)
+  let c1 = Machine.Assign.of_values cfg [| 1; 2; 3; 0 |] in
+  let c2 = Machine.Assign.of_values cfg [| 1; 2; 3; 2 |] in
+  let s = Sstate.of_codes [| c1; c2 |] in
+  check Alcotest.int "2 assignments" 2 (Sstate.distinct_assignments s);
+  check Alcotest.int "1 perm" 1 (Sstate.distinct_perms cfg s)
+
+let test_viability_state () =
+  let dead = Machine.Assign.of_values cfg [| 1; 1; 3; 3 |] in
+  let ok = Machine.Assign.of_values cfg [| 1; 2; 3; 0 |] in
+  assert (not (Sstate.all_viable cfg (Sstate.of_codes [| ok; dead |])))
+
+let test_hash_equal_consistency () =
+  let s1 = Sstate.initial cfg in
+  let s2 = Sstate.of_codes (Array.copy (Sstate.codes s1 :> int array)) in
+  assert (Sstate.equal s1 s2);
+  check Alcotest.int "hash agrees" (Sstate.hash s1) (Sstate.hash s2)
+
+let test_tbl () =
+  let tbl = Sstate.Tbl.create 4 in
+  Sstate.Tbl.replace tbl (Sstate.initial cfg) 42;
+  check (Alcotest.option Alcotest.int) "lookup" (Some 42)
+    (Sstate.Tbl.find_opt tbl (Sstate.initial cfg))
+
+(* Canonicalization is execution-order congruent: applying an instruction
+   commutes with canonicalization. *)
+let prop_apply_congruent =
+  let instrs = Isa.Instr.all cfg in
+  QCheck.Test.make ~name:"apply commutes with canonicalization" ~count:300
+    QCheck.(pair (int_bound 100000) (int_bound (Array.length instrs - 1)))
+    (fun (seed, k) ->
+      let st = Random.State.make [| seed |] in
+      (* Random multiset of assignments. *)
+      let codes =
+        Array.init
+          (1 + Random.State.int st 10)
+          (fun _ ->
+            Machine.Assign.of_values cfg
+              (Array.init 4 (fun _ -> Random.State.int st 4)))
+      in
+      let i = instrs.(k) in
+      let via_state = Sstate.apply cfg i (Sstate.of_codes codes) in
+      let via_codes =
+        Sstate.of_codes (Array.map (Machine.Assign.apply cfg i) codes)
+      in
+      Sstate.equal via_state via_codes)
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~name:"canonicalization idempotent" ~count:300
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let codes =
+        Array.init
+          (1 + Random.State.int st 12)
+          (fun _ ->
+            Machine.Assign.of_values cfg
+              (Array.init 4 (fun _ -> Random.State.int st 4)))
+      in
+      let s = Sstate.of_codes codes in
+      Sstate.equal s (Sstate.of_codes (Sstate.codes s :> int array)))
+
+let () =
+  Alcotest.run "sstate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "canonical form" `Quick test_canonical_sorted_dedup;
+          Alcotest.test_case "of_codes pure" `Quick test_of_codes_does_not_mutate;
+          Alcotest.test_case "apply converges" `Quick test_apply_converges;
+          Alcotest.test_case "perms vs assignments" `Quick
+            test_distinct_perms_vs_assignments;
+          Alcotest.test_case "viability" `Quick test_viability_state;
+          Alcotest.test_case "hash/equal" `Quick test_hash_equal_consistency;
+          Alcotest.test_case "Tbl" `Quick test_tbl;
+        ] );
+      ( "properties",
+        [ qtest prop_apply_congruent; qtest prop_canonical_idempotent ] );
+    ]
