@@ -228,7 +228,55 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* --stats-json [FILE|-]: skip the Bechamel run and dump a machine-readable
+   search-stats snapshot instead — one JSON object per representative
+   engine run (A*, level-sync enumeration, parallel), self-validated
+   before writing. This is the perf-trajectory hook: every CI run can
+   archive the snapshot and diff counters across commits. *)
+let stats_snapshot () =
+  let runs =
+    [
+      ( "astar-best-n3",
+        Search.run ~opts:{ Search.best with Search.trace_every = Some 100 } cfg3 );
+      ( "level-sync-all-optimal-n3",
+        let opts =
+          { Search.best with Search.engine = Search.Level_sync; max_solutions = 5 }
+        in
+        Search.run_mode ~opts ~mode:Search.All_optimal cfg3 );
+      ( "parallel-best-n3",
+        Search.run_parallel ~opts:Search.best ~domains:2 cfg3 );
+    ]
+  in
+  let objects =
+    List.map (fun (label, r) -> Search.stats_json ~label r) runs
+  in
+  let json = "[" ^ String.concat ",\n" objects ^ "]\n"
+  in
+  (match Search.Stats.validate_json json with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "stats snapshot is not well-formed JSON: %s\n" e;
+      exit 1);
+  json
+
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--stats-json" :: rest -> (
+      let json = stats_snapshot () in
+      match rest with
+      | [] | [ "-" ] -> print_string json
+      | [ path ] ->
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes)\n" path (String.length json)
+      | _ ->
+          prerr_endline "usage: main.exe --stats-json [FILE|-]";
+          exit 2)
+  | _ :: arg :: _ when arg <> "" && arg.[0] = '-' ->
+      Printf.eprintf "unknown option %s\nusage: main.exe [--stats-json [FILE|-]]\n" arg;
+      exit 2
+  | _ ->
   (* Force shared lazies outside the timed region. *)
   ignore (Lazy.force solutions3);
   ignore (Lazy.force random_points);

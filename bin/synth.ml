@@ -7,11 +7,29 @@
      synth -n 3 --all --cut 2         enumerate all optimal kernels
      synth -n 3 --minmax              min/max (vector) kernel
      synth -n 3 --prove-none 10       show no shorter kernel exists
-     synth -n 3 --pddl                emit the PDDL planning encoding *)
+     synth -n 3 --pddl                emit the PDDL planning encoding
+     synth -n 3 --stats-json -        dump the search-stats JSON snapshot *)
 
 open Cmdliner
 
-let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch =
+let dump_stats_json stats_json label r =
+  match stats_json with
+  | None -> ()
+  | Some path ->
+      let json = Search.stats_json ~label r ^ "\n" in
+      if path = "-" then print_string json
+      else begin
+        match open_out path with
+        | oc ->
+            output_string oc json;
+            close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "synth: cannot write stats JSON: %s\n" msg;
+            exit 1
+      end
+
+let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch
+    stats_json =
   let cfg = Isa.Config.make ~n ~m:scratch in
   if pddl then begin
     print_string (Planning.Pddl.domain cfg);
@@ -78,6 +96,11 @@ let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch =
             print_endline
               (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
             assert (Machine.Exec.sorts_all_permutations cfg p)));
+    let label =
+      Printf.sprintf "synth n=%d engine=%s" n
+        (if engine = "level" then "level" else "astar")
+    in
+    dump_stats_json stats_json label r;
     `Ok ()
   end
 
@@ -127,12 +150,22 @@ let pddl =
 let scratch =
   Arg.(value & opt int 1 & info [ "scratch"; "m" ] ~doc:"Scratch registers (default 1).")
 
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Dump a machine-readable JSON snapshot of the search statistics \
+           (counters, timeline, per-level open/pruned breakdown) to $(docv), \
+           or to stdout when $(docv) is '-'.")
+
 let cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
     Term.(
       ret
         (const run $ n $ minmax $ engine $ all $ cut $ heuristic $ max_len $ x86
-        $ prove_none $ pddl $ scratch))
+        $ prove_none $ pddl $ scratch $ stats_json))
 
 let () = exit (Cmd.eval cmd)

@@ -5,8 +5,11 @@
     (the paper benchmarks all 5602 solutions for n = 3) where a full
     Bechamel run per kernel would be prohibitive. *)
 
-val time_ns : ?warmup:int -> iters:int -> (unit -> unit) -> float
-(** Median-of-three timing of [iters] calls; returns nanoseconds per call. *)
+val time_ns : ?warmup:int -> ?samples:int -> iters:int -> (unit -> unit) -> float
+(** Median over [samples] (default 3) timings of [iters] calls each;
+    returns nanoseconds per call. Works for any positive sample count —
+    even counts take the mean of the two middle samples. Raises
+    [Invalid_argument] when [samples < 1]. *)
 
 type row = {
   name : string;

@@ -1,0 +1,138 @@
+type heuristic = No_heuristic | Perm_count | Assign_count | Dist_bound
+type cut = No_cut | Mult of float | Add of int
+type action_filter = All_actions | Optimal_guided
+type engine = Astar | Level_sync
+
+type options = {
+  engine : engine;
+  heuristic : heuristic;
+  h_weight : float;
+  cut : cut;
+  action_filter : action_filter;
+  erasure_check : bool;
+  dist_viability : bool;
+  dedup : bool;
+  max_len : int option;
+  max_solutions : int;
+  trace_every : int option;
+}
+
+let needs_distance opts =
+  opts.dist_viability || opts.heuristic = Dist_bound
+  || opts.action_filter = Optimal_guided
+
+type delta = {
+  mutable generated : int;
+  mutable pruned_cut : int;
+  mutable pruned_viability : int;
+  mutable pruned_bound : int;
+}
+
+let zero_delta () =
+  { generated = 0; pruned_cut = 0; pruned_viability = 0; pruned_bound = 0 }
+
+let merge_delta ~into d =
+  into.generated <- into.generated + d.generated;
+  into.pruned_cut <- into.pruned_cut + d.pruned_cut;
+  into.pruned_viability <- into.pruned_viability + d.pruned_viability;
+  into.pruned_bound <- into.pruned_bound + d.pruned_bound
+
+type env = {
+  cfg : Isa.Config.t;
+  opts : options;
+  instrs : Isa.Instr.t array;
+  dist : Distance.t option;
+  bound : int;
+}
+
+let make_env ?(bound = max_int) cfg opts =
+  {
+    cfg;
+    opts;
+    instrs = Isa.Instr.all cfg;
+    dist =
+      (if needs_distance opts then Some (Distance.compute_cached cfg) else None);
+    bound;
+  }
+
+type succ = {
+  instr : Isa.Instr.t;
+  state : Sstate.t;
+  pc : int;
+  is_final : bool;
+}
+
+let cut_threshold opts ~min_pc =
+  match opts.cut with
+  | No_cut -> max_int
+  | Mult k -> int_of_float (k *. float_of_int min_pc)
+  | Add d -> min_pc + d
+
+let actions env state =
+  match env.opts.action_filter with
+  | All_actions -> env.instrs
+  | Optimal_guided -> (
+      match env.dist with
+      | None -> env.instrs
+      | Some d ->
+          let marks = Distance.optimal_actions d env.instrs state in
+          let acc = ref [] in
+          for i = Array.length env.instrs - 1 downto 0 do
+            if marks.(i) then acc := env.instrs.(i) :: !acc
+          done;
+          Array.of_list !acc)
+
+(* Successor viability; returns [None] when pruned (after bumping the
+   relevant counter in [delta]), [Some pc] with the permutation count
+   otherwise. *)
+let vet env delta ~g' ~threshold state' =
+  if env.opts.erasure_check && not (Sstate.all_viable env.cfg state') then begin
+    delta.pruned_viability <- delta.pruned_viability + 1;
+    None
+  end
+  else
+    let dist_ok =
+      if not env.opts.dist_viability then true
+      else
+        match env.dist with
+        | None -> true
+        | Some d ->
+            let lb = Distance.state_lower_bound d state' in
+            if lb >= Distance.infinity then begin
+              delta.pruned_viability <- delta.pruned_viability + 1;
+              false
+            end
+            else if env.bound < max_int && g' + lb > env.bound then begin
+              delta.pruned_bound <- delta.pruned_bound + 1;
+              false
+            end
+            else true
+    in
+    if not dist_ok then None
+    else if env.bound < max_int && g' > env.bound then begin
+      delta.pruned_bound <- delta.pruned_bound + 1;
+      None
+    end
+    else
+      let pc = Sstate.distinct_perms env.cfg state' in
+      if pc > threshold then begin
+        delta.pruned_cut <- delta.pruned_cut + 1;
+        None
+      end
+      else Some pc
+
+let expand env delta ~g' ~threshold state =
+  let acts = actions env state in
+  let out = ref [] in
+  Array.iter
+    (fun instr ->
+      let state' = Sstate.apply env.cfg instr state in
+      delta.generated <- delta.generated + 1;
+      if Sstate.is_final env.cfg state' then
+        out := { instr; state = state'; pc = 1; is_final = true } :: !out
+      else
+        match vet env delta ~g' ~threshold state' with
+        | None -> ()
+        | Some pc -> out := { instr; state = state'; pc; is_final = false } :: !out)
+    acts;
+  List.rev !out

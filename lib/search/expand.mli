@@ -1,0 +1,94 @@
+(** The shared, instrumented expansion core.
+
+    Every search engine — A*, level-synchronous Dijkstra, and the parallel
+    level engine — explores the same graph with the same pruning arsenal.
+    This module is the single implementation of one expansion step: given a
+    state at depth [g - 1], apply the action filter, generate successors,
+    and vet each against the erasure check, the distance-viability bound,
+    the length bound, and the perm-count cut. Engines differ only in
+    {e which} state they expand next and how they merge survivors into
+    their open set; what counts as a successor, and what gets pruned, is
+    decided here and nowhere else.
+
+    All pruning decisions are recorded in a {!delta} — a small mutable
+    counter record private to the caller. Sequential engines pass one
+    long-lived delta per level; the parallel engine gives each worker
+    domain a fresh delta and merges them after the join, so the prune
+    counters are exact under parallel execution too. [expand] touches no
+    shared mutable state: [env] is read-only, which is what makes the
+    core safe to call from multiple domains at once. *)
+
+type heuristic = No_heuristic | Perm_count | Assign_count | Dist_bound
+type cut = No_cut | Mult of float | Add of int
+type action_filter = All_actions | Optimal_guided
+type engine = Astar | Level_sync
+
+type options = {
+  engine : engine;
+  heuristic : heuristic;
+  h_weight : float;
+  cut : cut;
+  action_filter : action_filter;
+  erasure_check : bool;
+  dist_viability : bool;
+  dedup : bool;
+  max_len : int option;
+  max_solutions : int;
+  trace_every : int option;
+}
+(** See {!Search.options} for field documentation; [Search.options] is an
+    alias of this type. *)
+
+val needs_distance : options -> bool
+(** Whether the option set requires the precomputed distance table. *)
+
+type delta = {
+  mutable generated : int;  (** Successor states built (finals included). *)
+  mutable pruned_cut : int;
+  mutable pruned_viability : int;
+  mutable pruned_bound : int;
+}
+(** Per-call expansion statistics. Never shared between domains: each
+    worker owns its delta and the owner merges with {!merge_delta}. *)
+
+val zero_delta : unit -> delta
+
+val merge_delta : into:delta -> delta -> unit
+(** [merge_delta ~into d] adds every counter of [d] into [into]. *)
+
+type env = {
+  cfg : Isa.Config.t;
+  opts : options;
+  instrs : Isa.Instr.t array;
+  dist : Distance.t option;
+  bound : int;  (** Current length bound; [max_int] when unbounded. *)
+}
+(** Read-only expansion context, shareable across domains. *)
+
+val make_env : ?bound:int -> Isa.Config.t -> options -> env
+(** Build an environment: instantiates the instruction set and, when the
+    options need it, the (process-wide cached) distance table. *)
+
+type succ = {
+  instr : Isa.Instr.t;
+  state : Sstate.t;
+  pc : int;
+      (** Distinct-permutation count of [state]; [1] for final states. *)
+  is_final : bool;
+}
+
+val cut_threshold : options -> min_pc:int -> int
+(** Threshold on the distinct-permutation count for states generated from a
+    level whose minimum count is [min_pc]; [max_int] means no cut. *)
+
+val actions : env -> Sstate.t -> Isa.Instr.t array
+(** The instructions to try from a state, after the action filter. *)
+
+val expand : env -> delta -> g':int -> threshold:int -> Sstate.t -> succ list
+(** [expand env delta ~g' ~threshold state] generates and vets every
+    successor of [state] at depth [g']. Final states are always kept (they
+    bypass vetting, like in every engine); non-final successors survive
+    only if they pass the erasure check, distance viability, the length
+    bound, and the cut [threshold]. Counters for generated and pruned
+    successors accumulate in [delta]. Successors are returned in
+    instruction order, so the result is deterministic for a fixed [env]. *)

@@ -1,12 +1,19 @@
 module Heap = Heap
+module Expand = Expand
+module Stats = Stats
 
-type heuristic = No_heuristic | Perm_count | Assign_count | Dist_bound
-type cut = No_cut | Mult of float | Add of int
-type action_filter = All_actions | Optimal_guided
-type engine = Astar | Level_sync
+type heuristic = Expand.heuristic =
+  | No_heuristic
+  | Perm_count
+  | Assign_count
+  | Dist_bound
+
+type cut = Expand.cut = No_cut | Mult of float | Add of int
+type action_filter = Expand.action_filter = All_actions | Optimal_guided
+type engine = Expand.engine = Astar | Level_sync
 type mode = Find_first | All_optimal | Prove_none of int
 
-type options = {
+type options = Expand.options = {
   engine : engine;
   heuristic : heuristic;
   h_weight : float;
@@ -46,9 +53,24 @@ let best =
 let best_preserving =
   { default with heuristic = Perm_count; cut = Mult 2.0 }
 
-type trace_point = { t : float; open_states : int; solutions_found : int }
+type trace_point = Stats.trace_point = {
+  t : float;
+  open_states : int;
+  solutions_found : int;
+}
 
-type stats = {
+type level_stat = Stats.level_stat = {
+  depth : int;
+  nodes_expanded : int;
+  succs_generated : int;
+  succs_deduped : int;
+  cut_pruned : int;
+  viability_pruned : int;
+  bound_pruned : int;
+  open_after : int;
+}
+
+type stats = Stats.t = {
   expanded : int;
   generated : int;
   deduped : int;
@@ -58,6 +80,7 @@ type stats = {
   max_open : int;
   elapsed : float;
   timeline : trace_point list;
+  levels : level_stat list;
 }
 
 type result = {
@@ -76,136 +99,89 @@ type node = {
   mutable parents : (node * Isa.Instr.t) list; (* head = representative *)
 }
 
-(* Mutable context shared by both engines. *)
+(* Per-depth stat accumulator: the expansion delta plus the merge-side
+   counters only the engine knows. *)
+type level_acc = {
+  d : Expand.delta;
+  mutable a_expanded : int;
+  mutable a_deduped : int;
+  mutable a_open : int;
+}
+
+(* Mutable context shared by all engines. Everything a worker domain needs
+   is in the immutable [env]; the rest is touched only by the merging
+   (main) domain. *)
 type ctx = {
-  cfg : Isa.Config.t;
-  opts : options;
-  instrs : Isa.Instr.t array;
-  dist : Distance.t option;
+  env : Expand.env;
   start : float;
-  mutable bound : int; (* current length bound; max_int when unbounded *)
   mutable expanded : int;
-  mutable generated : int;
   mutable deduped : int;
-  mutable pruned_cut : int;
-  mutable pruned_viability : int;
-  mutable pruned_bound : int;
   mutable max_open : int;
   mutable timeline : trace_point list;
   mutable solutions_found : int;
+  mutable accs : level_acc array;
+  mutable max_depth : int; (* number of leading [accs] entries in use *)
 }
 
 let now () = Unix.gettimeofday ()
 
-let needs_distance opts =
-  opts.dist_viability || opts.heuristic = Dist_bound
-  || opts.action_filter = Optimal_guided
-
-let make_ctx cfg opts =
+let make_ctx ?(mode = Find_first) cfg opts =
+  let bound =
+    let b = match opts.max_len with Some b -> b | None -> max_int in
+    match mode with Prove_none l -> min b l | Find_first | All_optimal -> b
+  in
   {
-    cfg;
-    opts;
-    instrs = Isa.Instr.all cfg;
-    dist = (if needs_distance opts then Some (Distance.compute_cached cfg) else None);
+    env = Expand.make_env ~bound cfg opts;
     start = now ();
-    bound = (match opts.max_len with Some b -> b | None -> max_int);
     expanded = 0;
-    generated = 0;
     deduped = 0;
-    pruned_cut = 0;
-    pruned_viability = 0;
-    pruned_bound = 0;
     max_open = 0;
     timeline = [];
     solutions_found = 0;
+    accs = [||];
+    max_depth = 0;
   }
 
-let perm_count ctx s = Sstate.distinct_perms ctx.cfg s
+let fresh_acc () =
+  { d = Expand.zero_delta (); a_expanded = 0; a_deduped = 0; a_open = 0 }
+
+(* The accumulator for expansions of depth-[depth] nodes. *)
+let acc_at ctx depth =
+  let n = Array.length ctx.accs in
+  if depth >= n then begin
+    let m = max (depth + 1) (2 * max 1 n) in
+    ctx.accs <-
+      Array.init m (fun i -> if i < n then ctx.accs.(i) else fresh_acc ())
+  end;
+  if depth + 1 > ctx.max_depth then ctx.max_depth <- depth + 1;
+  ctx.accs.(depth)
+
+let perm_count ctx s = Sstate.distinct_perms ctx.env.Expand.cfg s
 
 let heuristic_value ctx node =
+  let opts = ctx.env.Expand.opts in
   let raw =
-    match ctx.opts.heuristic with
+    match opts.heuristic with
     | No_heuristic -> 0
     | Perm_count -> node.pc - 1
     | Assign_count -> Sstate.distinct_assignments node.state - 1
     | Dist_bound -> (
-        match ctx.dist with
+        match ctx.env.Expand.dist with
         | Some d ->
             let lb = Distance.state_lower_bound d node.state in
             if lb >= Distance.infinity then max_int / 2 else lb
         | None -> 0)
   in
-  if ctx.opts.h_weight = 1.0 then raw
-  else int_of_float (ctx.opts.h_weight *. float_of_int raw)
+  if opts.h_weight = 1.0 then raw
+  else int_of_float (opts.h_weight *. float_of_int raw)
 
 let sample_trace ctx ~open_states =
-  match ctx.opts.trace_every with
+  match ctx.env.Expand.opts.trace_every with
   | Some k when ctx.expanded mod k = 0 ->
       ctx.timeline <-
         { t = now () -. ctx.start; open_states; solutions_found = ctx.solutions_found }
         :: ctx.timeline
   | _ -> ()
-
-(* Threshold on the distinct-permutation count for states generated from a
-   level whose minimum count is [min_pc]; [max_int] means no cut. *)
-let cut_threshold ctx ~min_pc =
-  match ctx.opts.cut with
-  | No_cut -> max_int
-  | Mult k -> int_of_float (k *. float_of_int min_pc)
-  | Add d -> min_pc + d
-
-(* Successor viability; returns [None] when pruned (after bumping the
-   relevant counter), [Some pc] with the permutation count otherwise. *)
-let vet ctx ~g' ~threshold state' =
-  ctx.generated <- ctx.generated + 1;
-  if ctx.opts.erasure_check && not (Sstate.all_viable ctx.cfg state') then begin
-    ctx.pruned_viability <- ctx.pruned_viability + 1;
-    None
-  end
-  else
-    let dist_ok =
-      if not ctx.opts.dist_viability then true
-      else
-        match ctx.dist with
-        | None -> true
-        | Some d ->
-            let lb = Distance.state_lower_bound d state' in
-            if lb >= Distance.infinity then begin
-              ctx.pruned_viability <- ctx.pruned_viability + 1;
-              false
-            end
-            else if ctx.bound < max_int && g' + lb > ctx.bound then begin
-              ctx.pruned_bound <- ctx.pruned_bound + 1;
-              false
-            end
-            else true
-    in
-    if not dist_ok then None
-    else if ctx.bound < max_int && g' > ctx.bound then begin
-      ctx.pruned_bound <- ctx.pruned_bound + 1;
-      None
-    end
-    else
-      let pc = perm_count ctx state' in
-      if pc > threshold then begin
-        ctx.pruned_cut <- ctx.pruned_cut + 1;
-        None
-      end
-      else Some pc
-
-let actions ctx node =
-  match ctx.opts.action_filter with
-  | All_actions -> ctx.instrs
-  | Optimal_guided -> (
-      match ctx.dist with
-      | None -> ctx.instrs
-      | Some d ->
-          let marks = Distance.optimal_actions d ctx.instrs node.state in
-          let acc = ref [] in
-          for i = Array.length ctx.instrs - 1 downto 0 do
-            if marks.(i) then acc := ctx.instrs.(i) :: !acc
-          done;
-          Array.of_list !acc)
 
 (* Path reconstruction: walk representative parents back to the root. *)
 let program_of_node node =
@@ -232,6 +208,21 @@ let programs_of_final cap finals =
 
 let finish ctx ~programs ~optimal_length ~solution_count ~distinct_final_states
     ~open_states =
+  let levels =
+    List.init ctx.max_depth (fun i ->
+        let a = ctx.accs.(i) in
+        {
+          depth = i;
+          nodes_expanded = a.a_expanded;
+          succs_generated = a.d.Expand.generated;
+          succs_deduped = a.a_deduped;
+          cut_pruned = a.d.Expand.pruned_cut;
+          viability_pruned = a.d.Expand.pruned_viability;
+          bound_pruned = a.d.Expand.pruned_bound;
+          open_after = a.a_open;
+        })
+  in
+  let sum f = List.fold_left (fun t l -> t + f l) 0 levels in
   {
     programs;
     optimal_length;
@@ -240,27 +231,37 @@ let finish ctx ~programs ~optimal_length ~solution_count ~distinct_final_states
     stats =
       {
         expanded = ctx.expanded;
-        generated = ctx.generated;
+        generated = sum (fun l -> l.succs_generated);
         deduped = ctx.deduped;
-        pruned_cut = ctx.pruned_cut;
-        pruned_viability = ctx.pruned_viability;
-        pruned_bound = ctx.pruned_bound;
+        pruned_cut = sum (fun l -> l.cut_pruned);
+        pruned_viability = sum (fun l -> l.viability_pruned);
+        pruned_bound = sum (fun l -> l.bound_pruned);
         max_open = max ctx.max_open open_states;
         elapsed = now () -. ctx.start;
         timeline = List.rev ctx.timeline;
+        levels;
       };
   }
 
+let trivial_final ctx =
+  finish ctx ~programs:[ [||] ] ~optimal_length:(Some 0) ~solution_count:1
+    ~distinct_final_states:1 ~open_states:0
+
 (* ------------------------------------------------------------------ *)
 (* Level-synchronous engine (Dijkstra order; exact cuts; all-solutions
-   enumeration and non-existence proofs). *)
+   enumeration and non-existence proofs). With [domains > 1] each level's
+   states are expanded by that many worker domains — successor generation
+   and all vetting run in the workers through the shared expansion core,
+   each with a private stat delta; the merge into the next level's dedup
+   table (and the delta merge) stays sequential, so the two paths perform
+   the exact same merges in the exact same order. *)
 
-let run_level_sync ctx mode =
-  let cfg = ctx.cfg in
+let run_level ctx ~domains mode =
+  let env = ctx.env in
+  let cfg = env.Expand.cfg in
+  let opts = env.Expand.opts in
   let initial = Sstate.initial cfg in
-  if Sstate.is_final cfg initial then
-    finish ctx ~programs:[ [||] ] ~optimal_length:(Some 0) ~solution_count:1
-      ~distinct_final_states:1 ~open_states:0
+  if Sstate.is_final cfg initial then trivial_final ctx
   else begin
     let seen = Sstate.Tbl.create (1 lsl 16) in
     let root =
@@ -275,74 +276,112 @@ let run_level_sync ctx mode =
     let track_all = mode <> Find_first in
     while (not !stop) && !current <> [] do
       let g' = !level + 1 in
+      let a = acc_at ctx !level in
       let min_pc =
         List.fold_left (fun acc n -> min acc n.pc) max_int !current
       in
-      let threshold = cut_threshold ctx ~min_pc in
+      let threshold = Expand.cut_threshold opts ~min_pc in
       let next = Sstate.Tbl.create (1 lsl 12) in
-      let process node =
-        ctx.expanded <- ctx.expanded + 1;
-        sample_trace ctx ~open_states:(Sstate.Tbl.length next);
-        let acts = actions ctx node in
-        Array.iter
-          (fun instr ->
-            if not !stop then begin
-              let state' = Sstate.apply cfg instr node.state in
-              if Sstate.is_final cfg state' then begin
-                ctx.generated <- ctx.generated + 1;
-                ctx.solutions_found <- ctx.solutions_found + 1;
-                (match Sstate.Tbl.find_opt final_tbl state' with
-                | Some fn ->
-                    fn.paths <- fn.paths + node.paths;
-                    if track_all then fn.parents <- fn.parents @ [ (node, instr) ]
-                | None ->
-                    let fn =
-                      {
-                        state = state';
-                        g = g';
-                        pc = 1;
-                        paths = node.paths;
-                        parents = [ (node, instr) ];
-                      }
-                    in
-                    Sstate.Tbl.replace final_tbl state' fn;
-                    final_order := fn :: !final_order);
-                if mode = Find_first then stop := true
-              end
-              else
-                match vet ctx ~g' ~threshold state' with
-                | None -> ()
-                | Some pc -> (
-                    let seen_before =
-                      if ctx.opts.dedup then Sstate.Tbl.find_opt seen state'
-                      else None
-                    in
-                    match seen_before with
-                    | Some l when l < g' -> ctx.deduped <- ctx.deduped + 1
-                    | _ -> (
-                        match Sstate.Tbl.find_opt next state' with
-                        | Some n' ->
-                            ctx.deduped <- ctx.deduped + 1;
-                            n'.paths <- n'.paths + node.paths;
-                            if track_all then
-                              n'.parents <- n'.parents @ [ (node, instr) ]
-                        | None ->
-                            let n' =
-                              {
-                                state = state';
-                                g = g';
-                                pc;
-                                paths = node.paths;
-                                parents = [ (node, instr) ];
-                              }
-                            in
-                            if ctx.opts.dedup then
-                              Sstate.Tbl.replace seen state' g';
-                            Sstate.Tbl.replace next state' n'))
-            end)
-          acts
+      (* Merge one vetted successor of [node] into the level structures. *)
+      let register node (s : Expand.succ) =
+        let state' = s.Expand.state in
+        if s.Expand.is_final then begin
+          ctx.solutions_found <- ctx.solutions_found + 1;
+          (match Sstate.Tbl.find_opt final_tbl state' with
+          | Some fn ->
+              fn.paths <- fn.paths + node.paths;
+              if track_all then
+                fn.parents <- fn.parents @ [ (node, s.Expand.instr) ]
+          | None ->
+              let fn =
+                {
+                  state = state';
+                  g = g';
+                  pc = 1;
+                  paths = node.paths;
+                  parents = [ (node, s.Expand.instr) ];
+                }
+              in
+              Sstate.Tbl.replace final_tbl state' fn;
+              final_order := fn :: !final_order);
+          if mode = Find_first then stop := true
+        end
+        else
+          let seen_before =
+            if opts.dedup then Sstate.Tbl.find_opt seen state' else None
+          in
+          match seen_before with
+          | Some l when l < g' ->
+              ctx.deduped <- ctx.deduped + 1;
+              a.a_deduped <- a.a_deduped + 1
+          | _ -> (
+              match Sstate.Tbl.find_opt next state' with
+              | Some n' ->
+                  ctx.deduped <- ctx.deduped + 1;
+                  a.a_deduped <- a.a_deduped + 1;
+                  n'.paths <- n'.paths + node.paths;
+                  if track_all then
+                    n'.parents <- n'.parents @ [ (node, s.Expand.instr) ]
+              | None ->
+                  let n' =
+                    {
+                      state = state';
+                      g = g';
+                      pc = s.Expand.pc;
+                      paths = node.paths;
+                      parents = [ (node, s.Expand.instr) ];
+                    }
+                  in
+                  if opts.dedup then Sstate.Tbl.replace seen state' g';
+                  Sstate.Tbl.replace next state' n')
       in
-      List.iter (fun n -> if not !stop then process n) !current;
+      let consume node succs =
+        ctx.expanded <- ctx.expanded + 1;
+        a.a_expanded <- a.a_expanded + 1;
+        sample_trace ctx ~open_states:(Sstate.Tbl.length next);
+        List.iter (fun s -> if not !stop then register node s) succs
+      in
+      (if domains <= 1 then
+         List.iter
+           (fun n ->
+             if not !stop then
+               consume n (Expand.expand env a.d ~g' ~threshold n.state))
+           !current
+       else begin
+         let nodes = Array.of_list !current in
+         let n = Array.length nodes in
+         let nd = max 1 (min domains n) in
+         let chunk = (n + nd - 1) / nd in
+         let expand_chunk lo hi =
+           let d = Expand.zero_delta () in
+           let succs =
+             Array.init (hi - lo) (fun i ->
+                 Expand.expand env d ~g' ~threshold nodes.(lo + i).state)
+           in
+           (d, succs)
+         in
+         let handles =
+           List.init nd (fun k ->
+               let lo = k * chunk and hi = min n ((k + 1) * chunk) in
+               if k = 0 then `Here (lo, hi)
+               else `Domain (lo, Domain.spawn (fun () -> expand_chunk lo hi)))
+         in
+         let results =
+           List.map
+             (function
+               | `Here (lo, hi) -> (lo, expand_chunk lo hi)
+               | `Domain (lo, h) -> (lo, Domain.join h))
+             handles
+         in
+         List.iter
+           (fun (lo, (d, succs)) ->
+             Expand.merge_delta ~into:a.d d;
+             Array.iteri
+               (fun i ss -> if not !stop then consume nodes.(lo + i) ss)
+               succs)
+           results
+       end);
+      a.a_open <- Sstate.Tbl.length next;
       ctx.max_open <- max ctx.max_open (Sstate.Tbl.length next);
       (* Solutions found at level [g'] are optimal: stop unless we are
          proving non-existence deeper (not needed — existence is decided). *)
@@ -351,7 +390,8 @@ let run_level_sync ctx mode =
         (match mode with
         | Prove_none l when g' >= l -> stop := true
         | _ -> ());
-        if ctx.bound < max_int && g' >= ctx.bound then stop := true;
+        if env.Expand.bound < max_int && g' >= env.Expand.bound then
+          stop := true;
         current := Sstate.Tbl.fold (fun _ n acc -> n :: acc) next [];
         level := g'
       end
@@ -361,7 +401,7 @@ let run_level_sync ctx mode =
     let programs =
       match (mode, finals) with
       | Find_first, n :: _ -> [ program_of_node n ]
-      | _ -> programs_of_final ctx.opts.max_solutions finals
+      | _ -> programs_of_final opts.max_solutions finals
     in
     let optimal_length =
       match finals with [] -> None | n :: _ -> Some n.g
@@ -371,15 +411,17 @@ let run_level_sync ctx mode =
       ~open_states:0
   end
 
+let run_level_sync ctx mode = run_level ctx ~domains:1 mode
+
 (* ------------------------------------------------------------------ *)
 (* A* engine: best-first on f = g + h, for fast find-first synthesis. *)
 
 let run_astar ctx =
-  let cfg = ctx.cfg in
+  let env = ctx.env in
+  let cfg = env.Expand.cfg in
+  let opts = env.Expand.opts in
   let initial = Sstate.initial cfg in
-  if Sstate.is_final cfg initial then
-    finish ctx ~programs:[ [||] ] ~optimal_length:(Some 0) ~solution_count:1
-      ~distinct_final_states:1 ~open_states:0
+  if Sstate.is_final cfg initial then trivial_final ctx
   else begin
     let seen = Sstate.Tbl.create (1 lsl 16) in
     let heap = Heap.create () in
@@ -407,60 +449,61 @@ let run_astar ctx =
       match Heap.pop heap with
       | None -> continue := false
       | Some (_, node) ->
+          let a = acc_at ctx node.g in
           ctx.expanded <- ctx.expanded + 1;
+          a.a_expanded <- a.a_expanded + 1;
           sample_trace ctx ~open_states:(Heap.size heap);
           ctx.max_open <- max ctx.max_open (Heap.size heap);
           let g' = node.g + 1 in
           let threshold =
-            let a = !level_min_pc in
-            if node.g < Array.length a && a.(node.g) < max_int then
-              cut_threshold ctx ~min_pc:a.(node.g)
+            let lm = !level_min_pc in
+            if node.g < Array.length lm && lm.(node.g) < max_int then
+              Expand.cut_threshold opts ~min_pc:lm.(node.g)
             else max_int
           in
-          let acts = actions ctx node in
-          Array.iter
-            (fun instr ->
+          let succs = Expand.expand env a.d ~g' ~threshold node.state in
+          List.iter
+            (fun (s : Expand.succ) ->
               if !continue then begin
-                let state' = Sstate.apply cfg instr node.state in
-                if Sstate.is_final cfg state' then begin
-                  ctx.generated <- ctx.generated + 1;
+                if s.Expand.is_final then begin
                   ctx.solutions_found <- 1;
                   found :=
                     Some
                       {
-                        state = state';
+                        state = s.Expand.state;
                         g = g';
                         pc = 1;
                         paths = node.paths;
-                        parents = [ (node, instr) ];
+                        parents = [ (node, s.Expand.instr) ];
                       };
                   continue := false
                 end
                 else
-                  match vet ctx ~g' ~threshold state' with
-                  | None -> ()
-                  | Some pc -> (
-                      match
-                        if ctx.opts.dedup then Sstate.Tbl.find_opt seen state'
-                        else None
-                      with
-                      | Some l when l <= g' -> ctx.deduped <- ctx.deduped + 1
-                      | _ ->
-                          let n' =
-                            {
-                              state = state';
-                              g = g';
-                              pc;
-                              paths = node.paths;
-                              parents = [ (node, instr) ];
-                            }
-                          in
-                          note_level_pc g' pc;
-                          if ctx.opts.dedup then
-                            Sstate.Tbl.replace seen state' g';
-                          Heap.push heap (g' + heuristic_value ctx n') n')
+                  match
+                    if opts.dedup then Sstate.Tbl.find_opt seen s.Expand.state
+                    else None
+                  with
+                  | Some l when l <= g' ->
+                      ctx.deduped <- ctx.deduped + 1;
+                      a.a_deduped <- a.a_deduped + 1
+                  | _ ->
+                      let n' =
+                        {
+                          state = s.Expand.state;
+                          g = g';
+                          pc = s.Expand.pc;
+                          paths = node.paths;
+                          parents = [ (node, s.Expand.instr) ];
+                        }
+                      in
+                      note_level_pc g' s.Expand.pc;
+                      if opts.dedup then
+                        Sstate.Tbl.replace seen s.Expand.state g';
+                      let ao = acc_at ctx g' in
+                      ao.a_open <- ao.a_open + 1;
+                      Heap.push heap (g' + heuristic_value ctx n') n'
               end)
-            acts
+            succs
     done;
     match !found with
     | Some n ->
@@ -474,135 +517,13 @@ let run_astar ctx =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Parallel level-synchronous engine: the paper's "dijkstra, parallel"
-   configuration. Each level's states are expanded by [domains] worker
-   domains (successor generation and viability checks are pure); the merge
-   into the next level's dedup table is sequential. On a single-core
-   container the speedup is bounded, but the engine exercises the same
-   decomposition the paper used on its 16-core notebook. *)
-
-let run_level_parallel ctx ~domains mode =
-  let cfg = ctx.cfg in
-  let initial = Sstate.initial cfg in
-  if Sstate.is_final cfg initial then
-    finish ctx ~programs:[ [||] ] ~optimal_length:(Some 0) ~solution_count:1
-      ~distinct_final_states:1 ~open_states:0
-  else begin
-    let seen = Sstate.Tbl.create (1 lsl 16) in
-    Sstate.Tbl.replace seen initial 0;
-    let current = ref [| initial |] in
-    let level = ref 0 in
-    let found = ref [] in
-    let parents = Sstate.Tbl.create (1 lsl 16) in
-    (* [parents] maps a state to (parent state, instr) for reconstruction. *)
-    let stop = ref false in
-    while (not !stop) && Array.length !current > 0 do
-      let g' = !level + 1 in
-      let states = !current in
-      let min_pc =
-        Array.fold_left
-          (fun acc s -> min acc (perm_count ctx s))
-          max_int states
-      in
-      let threshold = cut_threshold ctx ~min_pc in
-      (* Pure per-chunk expansion. *)
-      let expand_chunk lo hi =
-        let acc = ref [] in
-        for i = lo to hi - 1 do
-          let s = states.(i) in
-          Array.iter
-            (fun instr ->
-              let s' = Sstate.apply cfg instr s in
-              let final = Sstate.is_final cfg s' in
-              let keep =
-                final
-                || (Sstate.all_viable cfg s'
-                   && Sstate.distinct_perms cfg s' <= threshold
-                   && (ctx.bound >= max_int || g' <= ctx.bound))
-              in
-              if keep then acc := (s, instr, s', final) :: !acc)
-            ctx.instrs
-        done;
-        !acc
-      in
-      let n = Array.length states in
-      let nd = max 1 (min domains n) in
-      let chunk = (n + nd - 1) / nd in
-      let handles =
-        List.init nd (fun d ->
-            let lo = d * chunk and hi = min n ((d + 1) * chunk) in
-            if d = 0 then `Here (lo, hi)
-            else `Domain (Domain.spawn (fun () -> expand_chunk lo hi)))
-      in
-      let results =
-        List.map
-          (function
-            | `Here (lo, hi) -> expand_chunk lo hi
-            | `Domain h -> Domain.join h)
-          handles
-      in
-      ctx.expanded <- ctx.expanded + n;
-      let next = Sstate.Tbl.create (1 lsl 12) in
-      List.iter
-        (List.iter (fun (parent, instr, s', final) ->
-             ctx.generated <- ctx.generated + 1;
-             if final then begin
-               if not (List.exists (fun (f, _, _) -> Sstate.equal f s') !found)
-               then found := (s', parent, instr) :: !found;
-               ctx.solutions_found <- ctx.solutions_found + 1;
-               if mode = Find_first then stop := true
-             end
-             else
-               match Sstate.Tbl.find_opt seen s' with
-               | Some l when l <= g' -> ctx.deduped <- ctx.deduped + 1
-               | _ ->
-                   Sstate.Tbl.replace seen s' g';
-                   if not (Sstate.Tbl.mem parents s') then
-                     Sstate.Tbl.replace parents s' (parent, instr);
-                   Sstate.Tbl.replace next s' ()))
-        results;
-      ctx.max_open <- max ctx.max_open (Sstate.Tbl.length next);
-      if !found <> [] then stop := true
-      else begin
-        (match mode with
-        | Prove_none l when g' >= l -> stop := true
-        | _ -> ());
-        if ctx.bound < max_int && g' >= ctx.bound then stop := true;
-        current := Array.of_seq (Sstate.Tbl.to_seq_keys next);
-        level := g'
-      end
-    done;
-    let reconstruct (final_state, parent, instr) =
-      let rec walk acc s =
-        if Sstate.equal s initial then acc
-        else
-          let p, i = Sstate.Tbl.find parents s in
-          walk (i :: acc) p
-      in
-      ignore final_state;
-      Array.of_list (walk [ instr ] parent)
-    in
-    let programs = List.map reconstruct (List.rev !found) in
-    finish ctx ~programs
-      ~optimal_length:
-        (match programs with [] -> None | p :: _ -> Some (Array.length p))
-      ~solution_count:(List.length programs)
-      ~distinct_final_states:(List.length !found)
-      ~open_states:0
-  end
 
 let run_parallel ?(opts = default) ?(domains = 4) ?(mode = Find_first) cfg =
-  let ctx = make_ctx cfg opts in
-  (match mode with
-  | Prove_none l -> ctx.bound <- min ctx.bound l
-  | Find_first | All_optimal -> ());
-  run_level_parallel ctx ~domains mode
+  let ctx = make_ctx ~mode cfg opts in
+  run_level ctx ~domains mode
 
 let run_mode ?(opts = default) ~mode cfg =
-  let ctx = make_ctx cfg opts in
-  (match mode with
-  | Prove_none l -> ctx.bound <- min ctx.bound l
-  | Find_first | All_optimal -> ());
+  let ctx = make_ctx ~mode cfg opts in
   match (mode, opts.engine) with
   | Find_first, Astar -> run_astar ctx
   | Find_first, Level_sync -> run_level_sync ctx Find_first
@@ -611,6 +532,8 @@ let run_mode ?(opts = default) ~mode cfg =
       run_level_sync ctx mode
 
 let run ?(opts = default) cfg = run_mode ~opts ~mode:Find_first cfg
+
+let stats_json ?label result = Stats.to_json ?label result.stats
 
 let synthesize ?(opts = best) n =
   let cfg = Isa.Config.default n in

@@ -1,6 +1,17 @@
 module Heap : module type of Heap
 (** Re-export: the binary min-heap used by the A* engine. *)
 
+module Expand : module type of Expand
+(** Re-export: the shared instrumented expansion core all engines run on.
+    One [Expand.expand] call applies the action filter, generates
+    successors, and vets them against the erasure check, distance
+    viability, the length bound, and the perm-count cut — so the three
+    engines cannot disagree on what counts as a successor or a prune. *)
+
+module Stats : module type of Stats
+(** Re-export: search statistics types and the JSON snapshot emitter
+    ({!Stats.to_json} / {!Stats.validate_json}). *)
+
 (** Enumerative synthesis of sorting kernels (the paper's core contribution,
     Section 3).
 
@@ -12,17 +23,19 @@ module Heap : module type of Heap
       cost graph). The first level containing a final state is the optimal
       program length; the engine can enumerate {e all} optimal solutions and
       prove non-existence up to a length bound, which is how the paper
-      establishes its new tight lower bound of 20 for [n = 4].
+      establishes its new tight lower bound of 20 for [n = 4]. With
+      {!run_parallel} the same engine expands each level on multiple worker
+      domains.
     - {!Astar} is best-first on [f = g + h] and is the fast path for finding
       one (or a few) kernels.
 
-    Both engines share the paper's pruning arsenal: state deduplication
-    (Section 3.6), compare-operand symmetry (Section 3.2), erasure and
-    distance-budget viability (Section 3.3), the optimal-action filter
-    (Section 3.2), and the non-optimality-preserving perm-count cut
-    (Section 3.5). *)
+    All engines share the paper's pruning arsenal through the {!Expand}
+    core: state deduplication (Section 3.6), compare-operand symmetry
+    (Section 3.2), erasure and distance-budget viability (Section 3.3), the
+    optimal-action filter (Section 3.2), and the non-optimality-preserving
+    perm-count cut (Section 3.5). *)
 
-type heuristic =
+type heuristic = Expand.heuristic =
   | No_heuristic  (** [h = 0]: plain Dijkstra ordering. *)
   | Perm_count
       (** Number of distinct value-register projections minus one — the
@@ -33,7 +46,7 @@ type heuristic =
       (** [max] over assignments of the precomputed single-assignment
           distance (Section 3.1). Admissible, so A* stays optimal. *)
 
-type cut =
+type cut = Expand.cut =
   | No_cut
   | Mult of float
       (** [Mult k]: discard a state at level [l] whose distinct-permutation
@@ -45,14 +58,14 @@ type cut =
           previous level's minimum plus [d] (the "+2" row of the ablation
           table). *)
 
-type action_filter =
+type action_filter = Expand.action_filter =
   | All_actions
   | Optimal_guided
       (** Only instructions that begin an optimal sorting sequence for at
           least one assignment in the state (Section 3.2). Not
           optimality-preserving. *)
 
-type engine = Astar | Level_sync
+type engine = Expand.engine = Astar | Level_sync
 
 type mode =
   | Find_first  (** Stop at the first final state. *)
@@ -63,7 +76,7 @@ type mode =
       (** [Prove_none l]: exhaust all levels up to and including [l]; used
           to certify that no kernel of length [<= l] exists. *)
 
-type options = {
+type options = Expand.options = {
   engine : engine;
   heuristic : heuristic;
   h_weight : float;
@@ -99,13 +112,25 @@ val best_preserving : options
 (** Configuration (II) plus [Mult 2.0]: fast while empirically preserving
     all optimal solutions. *)
 
-type trace_point = {
+type trace_point = Stats.trace_point = {
   t : float;  (** Seconds since the search started. *)
   open_states : int;
   solutions_found : int;
 }
 
-type stats = {
+type level_stat = Stats.level_stat = {
+  depth : int;  (** Depth of the expanded nodes. *)
+  nodes_expanded : int;
+  succs_generated : int;
+  succs_deduped : int;
+  cut_pruned : int;
+  viability_pruned : int;
+  bound_pruned : int;
+  open_after : int;
+}
+(** Per-depth expansion/prune breakdown; see {!Stats.level_stat}. *)
+
+type stats = Stats.t = {
   expanded : int;  (** States popped / processed. *)
   generated : int;  (** Successor states built. *)
   deduped : int;  (** Successors dropped as already seen. *)
@@ -115,6 +140,7 @@ type stats = {
   max_open : int;
   elapsed : float;
   timeline : trace_point list;  (** Oldest first. *)
+  levels : level_stat list;  (** Shallowest first. *)
 }
 
 type result = {
@@ -128,8 +154,14 @@ type result = {
           heuristic is admissible. *)
   solution_count : int;
       (** Total number of distinct solution programs surviving the pruning
-          configuration (path count through the deduplicated state graph),
-          even beyond [max_solutions]. *)
+          configuration, computed as the number of paths through the
+          deduplicated state DAG from the root to a final state (parallel
+          edges counted), even beyond [max_solutions]. Every engine —
+          sequential level-synchronous, parallel level-synchronous, and A*
+          (where a find-first run reports the path count of the single
+          final node found) — reports this same path-count semantics;
+          [distinct_final_states] is the separate, coarser count of distinct
+          final {e states}. *)
   distinct_final_states : int;
   stats : stats;
 }
@@ -145,11 +177,21 @@ val run_parallel :
 (** Level-synchronous search with each level expanded by [domains] worker
     domains (the paper's parallel Dijkstra; Section 3.1 notes the approach
     "is parallelizable as we can process all programs of a certain length
-    in parallel"). Successor generation and pruning run in the workers;
-    deduplication merges sequentially. In [All_optimal] mode this engine
-    reports one representative program per distinct final state (it does
-    not count path multiplicities — use {!run_mode} for exact solution
-    counts). *)
+    in parallel"). Successor generation and all pruning run in the workers
+    through the same {!Expand} core as the sequential engines — every
+    option ([action_filter], [dist_viability], [erasure_check], [cut],
+    [dedup], [max_len]) is honored and the prune counters are exact
+    (per-worker deltas, merged after the join). Deduplication and path
+    accounting merge sequentially in the same order as the sequential
+    engine, so for a fixed option set this returns the same programs,
+    [optimal_length], [solution_count] (path-count semantics), and prune
+    statistics as {!run_mode} with [engine = Level_sync]; in [Find_first]
+    mode only the last level's generated/pruned counters may exceed the
+    sequential engine's (workers expand the whole level before the merge
+    notices a solution). *)
+
+val stats_json : ?label:string -> result -> string
+(** JSON snapshot of a run's statistics; see {!Stats.to_json}. *)
 
 val synthesize : ?opts:options -> int -> Isa.Program.t option
 (** [synthesize n] finds one sorting kernel for arrays of length [n] with

@@ -1,0 +1,54 @@
+(** Search observability: counters, timeline, per-level breakdown, and a
+    machine-readable JSON snapshot.
+
+    Every engine populates one {!t} per run (exposed as
+    [Search.result.stats]). The JSON emitter is dependency-free — the
+    container has no JSON library — and {!validate_json} is a minimal
+    well-formedness checker so tests and the bench smoke path can assert
+    that emitted snapshots parse. *)
+
+type trace_point = {
+  t : float;  (** Seconds since the search started. *)
+  open_states : int;
+  solutions_found : int;
+}
+
+type level_stat = {
+  depth : int;  (** Depth of the expanded nodes. *)
+  nodes_expanded : int;  (** States of this depth processed. *)
+  succs_generated : int;
+      (** Successors built from them (final states included). *)
+  succs_deduped : int;  (** Successors dropped as already seen. *)
+  cut_pruned : int;
+  viability_pruned : int;
+  bound_pruned : int;
+  open_after : int;
+      (** Level engines: surviving distinct states entering depth
+          [depth + 1]. A*: states pushed onto the heap at depth
+          [depth + 1] (cumulative pushes, not a net count). *)
+}
+(** Prune/expansion breakdown for one search depth. *)
+
+type t = {
+  expanded : int;  (** States popped / processed. *)
+  generated : int;  (** Successor states built. *)
+  deduped : int;  (** Successors dropped as already seen. *)
+  pruned_cut : int;
+  pruned_viability : int;
+  pruned_bound : int;
+  max_open : int;
+  elapsed : float;
+  timeline : trace_point list;  (** Oldest first. *)
+  levels : level_stat list;  (** Shallowest first. *)
+}
+
+val to_json : ?label:string -> t -> string
+(** Render a stats snapshot as a JSON object:
+    [{"label": ..., "counters": {...}, "timeline": [...], "levels": [...]}].
+    The [label] field is omitted when not given. The output always passes
+    {!validate_json}. *)
+
+val validate_json : string -> (unit, string) result
+(** Check that a string is one well-formed JSON value (objects, arrays,
+    strings, numbers, [true]/[false]/[null]) with nothing trailing.
+    Positions in error messages are 0-based byte offsets. *)

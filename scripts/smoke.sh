@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 smoke: build everything, run the full test tree, and exercise the
+# search-stats JSON emitter end to end (the snapshot self-validates inside
+# bench/main.exe; a malformed snapshot exits non-zero and fails the smoke).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune build @runtest =="
+dune build @runtest
+
+echo "== bench --stats-json =="
+out="${TMPDIR:-/tmp}/sortsynth-stats-smoke.json"
+dune exec bench/main.exe -- --stats-json "$out"
+# Belt and braces: the emitter already validated the snapshot; check the
+# file landed non-empty and looks like a JSON array.
+[ -s "$out" ] || { echo "stats snapshot is empty" >&2; exit 1; }
+case "$(head -c 1 "$out")" in
+  "[") ;;
+  *) echo "stats snapshot does not start with '['" >&2; exit 1 ;;
+esac
+
+echo "smoke ok: $out"

@@ -91,6 +91,28 @@ let test_rank_rows () =
     [ ("fast", 1); ("mid", 2); ("slow", 3) ]
     (List.map (fun r -> (r.Perf.Measure.name, r.Perf.Measure.rank)) rows)
 
+let test_time_ns_median_any_sample_count () =
+  (* The median must be well-defined for any sample count, odd or even,
+     not just the historical hard-coded three. *)
+  let counter = ref 0 in
+  let f () = incr counter in
+  List.iter
+    (fun samples ->
+      let t = Perf.Measure.time_ns ~warmup:0 ~samples ~iters:1 f in
+      assert (t >= 0.))
+    [ 1; 2; 3; 4; 5; 8 ];
+  Alcotest.check_raises "samples=0 rejected"
+    (Invalid_argument "Measure.time_ns: samples must be >= 1") (fun () ->
+      ignore (Perf.Measure.time_ns ~samples:0 ~iters:1 f))
+
+let test_embedded_measures () =
+  let rows =
+    Perf.Measure.embedded ~cases:10 ~max_len:200 `Quicksort
+      [ sorter3; Perf.Baselines.swap 3 ]
+  in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  List.iter (fun r -> assert (r.Perf.Measure.time_ns > 0.)) rows
+
 let test_standalone_measures_all () =
   let rows =
     Perf.Measure.standalone ~cases:50 ~iters:2 [ sorter3; Perf.Baselines.swap 3 ]
@@ -177,6 +199,9 @@ let () =
           Alcotest.test_case "insertion sort" `Quick test_insertion_sort;
           Alcotest.test_case "rank rows" `Quick test_rank_rows;
           Alcotest.test_case "standalone measure" `Quick test_standalone_measures_all;
+          Alcotest.test_case "time_ns median any sample count" `Quick
+            test_time_ns_median_any_sample_count;
+          Alcotest.test_case "embedded measure" `Quick test_embedded_measures;
         ] );
       ( "tsne",
         [

@@ -128,6 +128,74 @@ let test_stats_sanity () =
   assert (s.Search.generated >= s.Search.expanded);
   assert (s.Search.elapsed >= 0.)
 
+let test_stats_json_well_formed () =
+  let cfg = Isa.Config.default 3 in
+  let r = Search.run ~opts:{ Search.best with Search.trace_every = Some 50 } cfg in
+  let json = Search.stats_json ~label:"test n=3" r in
+  (match Search.Stats.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stats JSON malformed: %s\n%s" e json);
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then
+        Alcotest.failf "stats JSON missing %s" needle)
+    [ {|"label"|}; {|"counters"|}; {|"timeline"|}; {|"levels"|};
+      {|"pruned_cut"|}; {|"pruned_viability"|}; {|"pruned_bound"|};
+      {|"open_after"|} ]
+
+let test_stats_levels_consistent () =
+  (* The per-level breakdown must sum back to the aggregate counters. *)
+  let cfg = Isa.Config.default 3 in
+  let opts = { Search.best with Search.engine = Search.Level_sync } in
+  let s = (Search.run ~opts cfg).Search.stats in
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 s.Search.levels in
+  assert (s.Search.levels <> []);
+  check Alcotest.int "expanded" s.Search.expanded
+    (sum (fun l -> l.Search.nodes_expanded));
+  check Alcotest.int "generated" s.Search.generated
+    (sum (fun l -> l.Search.succs_generated));
+  check Alcotest.int "deduped" s.Search.deduped
+    (sum (fun l -> l.Search.succs_deduped));
+  check Alcotest.int "pruned_cut" s.Search.pruned_cut
+    (sum (fun l -> l.Search.cut_pruned));
+  check Alcotest.int "pruned_viability" s.Search.pruned_viability
+    (sum (fun l -> l.Search.viability_pruned));
+  check Alcotest.int "pruned_bound" s.Search.pruned_bound
+    (sum (fun l -> l.Search.bound_pruned));
+  (* Depths are 0,1,2,... in order. *)
+  List.iteri
+    (fun i l -> check Alcotest.int "depth" i l.Search.depth)
+    s.Search.levels
+
+let test_validate_json_rejects_garbage () =
+  let bad s =
+    match Search.Stats.validate_json s with
+    | Ok () -> Alcotest.failf "accepted invalid JSON: %s" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad {|{"a":1,}|};
+  bad {|[1, 2,]|};
+  bad {|{"a" 1}|};
+  bad {|"unterminated|};
+  bad "nul";
+  bad "1.2.3";
+  bad {|{"a":1} trailing|};
+  let good s =
+    match Search.Stats.validate_json s with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "rejected valid JSON %s: %s" s e
+  in
+  good "{}";
+  good "[]";
+  good {|{"a":[1,-2.5e3,true,false,null,"x\nA"]}|}
+
 let test_bound_too_small_returns_none () =
   let cfg = Isa.Config.default 2 in
   let opts = { Search.default with Search.max_len = Some 2 } in
@@ -171,6 +239,12 @@ let () =
             test_n3_dijkstra_certifies;
           Alcotest.test_case "all configs agree" `Slow test_n3_all_configs_agree;
           Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+          Alcotest.test_case "stats JSON well-formed" `Quick
+            test_stats_json_well_formed;
+          Alcotest.test_case "per-level stats consistent" `Quick
+            test_stats_levels_consistent;
+          Alcotest.test_case "JSON validator rejects garbage" `Quick
+            test_validate_json_rejects_garbage;
           Alcotest.test_case "trace collection" `Quick test_trace_collection;
           Alcotest.test_case "bound too small" `Quick
             test_bound_too_small_returns_none;
