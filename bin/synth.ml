@@ -4,32 +4,62 @@
      synth -n 3                       fastest configuration, print the kernel
      synth -n 3 --x86                 render as x86-64 assembly
      synth -n 4 --engine level        certified-minimal search
+     synth -n 4 --engine parallel -j 4   level search over 4 worker domains
      synth -n 3 --all --cut 2         enumerate all optimal kernels
      synth -n 3 --minmax              min/max (vector) kernel
      synth -n 3 --prove-none 10       show no shorter kernel exists
      synth -n 3 --pddl                emit the PDDL planning encoding
-     synth -n 3 --stats-json -        dump the search-stats JSON snapshot *)
+     synth -n 3 --cache               serve/populate the kernel registry
+     synth -n 3 --stats-json -        dump the search-stats JSON snapshot
+     synth batch jobs.json -j 4      run a job list through the registry
+     synth registry list|verify|gc    inspect / re-certify / sweep the store *)
 
 open Cmdliner
 
-let dump_stats_json stats_json label r =
-  match stats_json with
-  | None -> ()
-  | Some path ->
-      let json = Search.stats_json ~label r ^ "\n" in
-      if path = "-" then print_string json
-      else begin
-        match open_out path with
-        | oc ->
-            output_string oc json;
-            close_out oc
-        | exception Sys_error msg ->
-            Printf.eprintf "synth: cannot write stats JSON: %s\n" msg;
-            exit 1
-      end
+let write_json path json =
+  let json = json ^ "\n" in
+  if path = "-" then print_string json
+  else
+    match open_out path with
+    | oc ->
+        output_string oc json;
+        close_out oc
+    | exception Sys_error msg ->
+        Printf.eprintf "synth: cannot write stats JSON: %s\n" msg;
+        exit 1
 
-let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch
-    stats_json =
+let resolve_root = function
+  | Some dir -> dir
+  | None -> Registry.Store.default_root ()
+
+(* Verification must survive release builds (asserts do not): print a
+   diagnostic and exit nonzero instead. *)
+let certify_or_die cfg p =
+  match Registry.Verify.certify cfg p with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "synth: VERIFICATION FAILED: %s\n" msg;
+      exit 1
+
+let zero_stats =
+  {
+    Search.expanded = 0;
+    generated = 0;
+    deduped = 0;
+    pruned_cut = 0;
+    pruned_viability = 0;
+    pruned_bound = 0;
+    max_open = 0;
+    elapsed = 0.;
+    timeline = [];
+    levels = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Default command: synthesize one kernel.                             *)
+
+let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
+    scratch cache cache_dir stats_json =
   let cfg = Isa.Config.make ~n ~m:scratch in
   if pddl then begin
     print_string (Planning.Pddl.domain cfg);
@@ -38,9 +68,7 @@ let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch
     `Ok ()
   end
   else if minmax then begin
-    let opts =
-      { Minmax.default with Minmax.all_solutions = all; max_len }
-    in
+    let opts = { Minmax.default with Minmax.all_solutions = all; max_len } in
     let r = Minmax.synthesize ~opts n in
     match r.Minmax.programs with
     | [] ->
@@ -55,53 +83,78 @@ let run n minmax engine all cut heuristic max_len x86 prove_none pddl scratch
         `Ok ()
   end
   else begin
-    let heuristic =
-      match heuristic with
-      | "none" -> Search.No_heuristic
-      | "perm" -> Search.Perm_count
-      | "assign" -> Search.Assign_count
-      | "dist" -> Search.Dist_bound
-      | s -> invalid_arg (Printf.sprintf "unknown heuristic %S" s)
-    in
-    let opts =
-      {
-        Search.best with
-        Search.engine = (if engine = "level" then Search.Level_sync else Search.Astar);
-        heuristic;
-        cut = (if cut <= 0. then Search.No_cut else Search.Mult cut);
-        max_len;
-        max_solutions = 50;
-      }
+    let key =
+      Registry.Key.make ~m:scratch ~engine ~heuristic
+        ~cut:(Registry.Key.cut_of_factor cut) ?max_len n
     in
     let mode =
       match prove_none with
       | Some l -> Search.Prove_none l
       | None -> if all then Search.All_optimal else Search.Find_first
     in
-    let r = Search.run_mode ~opts ~mode cfg in
-    (match mode with
-    | Search.Prove_none l ->
-        Printf.printf
-          (match r.Search.optimal_length with
-          | None -> format_of_string "no kernel of length <= %d exists (%d states explored)\n"
-          | Some _ -> format_of_string "a kernel of length <= %d exists! (%d states)\n")
-          l r.Search.stats.Search.expanded
-    | _ -> (
-        match r.Search.programs with
-        | [] -> Printf.printf "no kernel found\n"
-        | p :: _ ->
-            Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
-              (Array.length p) r.Search.solution_count
-              r.Search.stats.Search.elapsed r.Search.stats.Search.expanded;
-            print_endline
-              (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
-            assert (Machine.Exec.sorts_all_permutations cfg p)));
     let label =
-      Printf.sprintf "synth n=%d engine=%s" n
-        (if engine = "level" then "level" else "astar")
+      Printf.sprintf "synth n=%d engine=%s" n (Registry.Key.engine_to_string engine)
     in
-    dump_stats_json stats_json label r;
-    `Ok ()
+    let root = resolve_root cache_dir in
+    let counters = Registry.Store.fresh_counters () in
+    (* Only plain find-first requests are cacheable: the store holds one
+       kernel per key, not solution enumerations or non-existence proofs. *)
+    let cacheable = cache && mode = Search.Find_first in
+    let extra () =
+      if cache then Some [ ("registry", Registry.Store.counters_json counters) ]
+      else None
+    in
+    let dump_stats stats =
+      match stats_json with
+      | None -> ()
+      | Some path -> write_json path (Search.Stats.to_json ~label ?extra:(extra ()) stats)
+    in
+    let hit =
+      if cacheable then
+        match Registry.Store.lookup ~counters ~root key with
+        | Registry.Store.Hit e -> Some e
+        | Registry.Store.Quarantined reason ->
+            Printf.eprintf "synth: registry: quarantined bad entry: %s\n" reason;
+            None
+        | Registry.Store.Miss -> None
+      else None
+    in
+    match hit with
+    | Some e ->
+        Printf.printf "# registry hit %s: %d instructions, verified on load\n"
+          (Registry.Key.hash key) e.Registry.Store.length;
+        print_endline
+          (if x86 then Isa.Program.to_x86 cfg e.Registry.Store.program
+           else Isa.Program.to_string cfg e.Registry.Store.program);
+        dump_stats zero_stats;
+        `Ok ()
+    | None ->
+        let r = Registry.Scheduler.run_key ~domains:jobs ~mode key in
+        (match mode with
+        | Search.Prove_none l ->
+            Printf.printf
+              (match r.Search.optimal_length with
+              | None -> format_of_string "no kernel of length <= %d exists (%d states explored)\n"
+              | Some _ -> format_of_string "a kernel of length <= %d exists! (%d states)\n")
+              l r.Search.stats.Search.expanded
+        | _ -> (
+            match r.Search.programs with
+            | [] -> Printf.printf "no kernel found\n"
+            | p :: _ ->
+                certify_or_die cfg p;
+                Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
+                  (Array.length p) r.Search.solution_count
+                  r.Search.stats.Search.elapsed r.Search.stats.Search.expanded;
+                print_endline
+                  (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
+                if cacheable then
+                  match Registry.Store.insert ~counters ~root key r with
+                  | Ok _ ->
+                      Printf.printf "# registry store %s\n" (Registry.Key.hash key)
+                  | Error msg ->
+                      Printf.eprintf "synth: registry: cannot store kernel: %s\n" msg));
+        dump_stats r.Search.stats;
+        `Ok ()
   end
 
 let n =
@@ -112,8 +165,17 @@ let minmax = Arg.(value & flag & info [ "minmax" ] ~doc:"Use the min/max vector 
 let engine =
   Arg.(
     value
-    & opt (enum [ ("astar", "astar"); ("level", "level") ]) "astar"
-    & info [ "engine" ] ~doc:"Search engine: astar (fast) or level (certified minimal).")
+    & opt (enum Registry.Key.engine_assoc) Registry.Key.Astar
+    & info [ "engine" ]
+        ~doc:
+          "Search engine: astar (fast), level (certified minimal), or \
+           parallel (level search over --jobs worker domains).")
+
+let jobs =
+  Arg.(
+    value & opt int 2
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for --engine parallel and for batch mode.")
 
 let all = Arg.(value & flag & info [ "all" ] ~doc:"Enumerate all optimal kernels.")
 
@@ -126,7 +188,7 @@ let cut =
 let heuristic =
   Arg.(
     value
-    & opt (enum [ ("none", "none"); ("perm", "perm"); ("assign", "assign"); ("dist", "dist") ]) "perm"
+    & opt (enum Registry.Key.heuristic_assoc) Search.Perm_count
     & info [ "heuristic" ] ~doc:"A* heuristic: none, perm, assign, or dist.")
 
 let max_len =
@@ -150,6 +212,24 @@ let pddl =
 let scratch =
   Arg.(value & opt int 1 & info [ "scratch"; "m" ] ~doc:"Scratch registers (default 1).")
 
+let cache =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Consult the kernel registry before searching and store the \
+           synthesized kernel after. Entries are re-verified on every load.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "SORTSYNTH_REGISTRY")
+        ~doc:
+          "Registry root directory (default: \\$SORTSYNTH_REGISTRY or \
+           .sortsynth-registry).")
+
 let stats_json =
   Arg.(
     value
@@ -160,12 +240,174 @@ let stats_json =
            (counters, timeline, per-level open/pruned breakdown) to $(docv), \
            or to stdout when $(docv) is '-'.")
 
-let cmd =
+let default_term =
+  Term.(
+    ret
+      (const run $ n $ minmax $ engine $ jobs $ all $ cut $ heuristic $ max_len
+      $ x86 $ prove_none $ pddl $ scratch $ cache $ cache_dir $ stats_json))
+
+(* ------------------------------------------------------------------ *)
+(* batch: run a JSON job list through the registry + scheduler.        *)
+
+let run_batch jobs_file workers timeout retries no_cache cache_dir x86
+    stats_json =
+  let src =
+    match open_in_bin jobs_file with
+    | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok s
+    | exception Sys_error msg -> Error msg
+  in
+  match Result.bind src Registry.Scheduler.parse_jobs with
+  | Error msg -> `Error (false, Printf.sprintf "cannot read jobs: %s" msg)
+  | Ok keys ->
+      let root = if no_cache then None else Some (resolve_root cache_dir) in
+      let b =
+        Registry.Scheduler.run_batch ?root ~workers ?timeout ~retries keys
+      in
+      let failures = ref 0 in
+      List.iteri
+        (fun i r ->
+          let open Registry.Scheduler in
+          let tag, note =
+            match r.status with
+            | Cached -> ("cached", "")
+            | Synthesized ->
+                ("synthesized", Printf.sprintf " in %.3f s" r.elapsed)
+            | Timed_out ->
+                incr failures;
+                ("TIMED OUT", Printf.sprintf " after %d attempts" r.attempts)
+            | Failed msg ->
+                incr failures;
+                ("FAILED", ": " ^ msg)
+          in
+          Printf.printf "# job %d [%s] %s: %s%s\n" i
+            (String.sub (Registry.Key.hash r.key) 0 12)
+            (Registry.Key.describe r.key) tag note;
+          match r.program with
+          | Some p ->
+              let cfg = Registry.Key.config r.key in
+              print_endline
+                (if x86 then Isa.Program.to_x86 cfg p
+                 else Isa.Program.to_string cfg p)
+          | None -> ())
+        b.Registry.Scheduler.results;
+      let c = b.Registry.Scheduler.counters in
+      Printf.printf
+        "# registry: %d hits, %d misses, %d quarantined, %d inserted\n"
+        c.Registry.Store.hits c.Registry.Store.misses
+        c.Registry.Store.quarantined c.Registry.Store.inserted;
+      (match stats_json with
+      | Some path -> write_json path (Registry.Scheduler.batch_json b)
+      | None -> ());
+      if !failures > 0 then begin
+        Printf.eprintf "synth batch: %d of %d jobs did not produce a kernel\n"
+          !failures (List.length keys);
+        exit 1
+      end;
+      `Ok ()
+
+let batch_cmd =
+  let jobs_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOBS.json"
+          ~doc:"JSON array of requests, e.g. [{\"n\":3},{\"n\":4,\"engine\":\"level\"}].")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt search deadline.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Extra attempts after a timeout or failure (default 1).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Synthesize every job; skip the registry.")
+  in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
+    (Cmd.info "batch"
+       ~doc:
+         "Run a list of synthesis jobs: registry hits are served verified, \
+          misses run across worker domains, results merge deterministically.")
     Term.(
       ret
-        (const run $ n $ minmax $ engine $ all $ cut $ heuristic $ max_len $ x86
-        $ prove_none $ pddl $ scratch $ stats_json))
+        (const run_batch $ jobs_file $ jobs $ timeout $ retries $ no_cache
+        $ cache_dir $ x86 $ stats_json))
+
+(* ------------------------------------------------------------------ *)
+(* registry list | verify | gc                                         *)
+
+let registry_list cache_dir =
+  let root = resolve_root cache_dir in
+  let hashes = Registry.Store.list_hashes ~root in
+  Printf.printf "# %d entries in %s (%d quarantined)\n" (List.length hashes)
+    root
+    (Registry.Store.quarantine_count ~root);
+  List.iter
+    (fun h ->
+      match Registry.Store.load_unverified ~root h with
+      | Ok e ->
+          Printf.printf "%s  %s  len=%d cost=%.2f expanded=%d\n"
+            (String.sub h 0 12)
+            (Registry.Key.describe e.Registry.Store.key)
+            e.Registry.Store.length e.Registry.Store.predicted_cost
+            e.Registry.Store.expanded
+      | Error msg -> Printf.printf "%s  <unreadable: %s>\n" (String.sub h 0 12) msg)
+    hashes;
+  `Ok ()
+
+let registry_verify cache_dir =
+  let root = resolve_root cache_dir in
+  let checked = Registry.Store.verify_all ~root () in
+  let bad = ref 0 in
+  List.iter
+    (fun (h, r) ->
+      match r with
+      | Ok _ -> Printf.printf "%s  ok\n" (String.sub h 0 12)
+      | Error msg ->
+          incr bad;
+          Printf.printf "%s  QUARANTINED: %s\n" (String.sub h 0 12) msg)
+    checked;
+  Printf.printf "# %d ok, %d quarantined\n" (List.length checked - !bad) !bad;
+  if !bad > 0 then exit 1;
+  `Ok ()
+
+let registry_gc cache_dir =
+  let root = resolve_root cache_dir in
+  let kept, purged = Registry.Store.gc ~root in
+  Printf.printf "# %d entries kept, %d quarantined entries purged\n" kept purged;
+  `Ok ()
+
+let registry_cmd =
+  let simple name doc f =
+    Cmd.v (Cmd.info name ~doc) Term.(ret (const f $ cache_dir))
+  in
+  Cmd.group
+    (Cmd.info "registry" ~doc:"Inspect and maintain the on-disk kernel registry.")
+    [
+      simple "list" "List stored entries (no verification)." registry_list;
+      simple "verify"
+        "Re-certify every entry; quarantine and report failures (exit 1 if any)."
+        registry_verify;
+      simple "gc"
+        "Re-certify every entry, then delete the quarantine area."
+        registry_gc;
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let cmd =
+  Cmd.group ~default:default_term
+    (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
+    [ batch_cmd; registry_cmd ]
 
 let () = exit (Cmd.eval cmd)

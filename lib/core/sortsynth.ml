@@ -23,6 +23,7 @@ module Planning = Planning
 module Mcts = Mcts
 module Perf = Perf
 module Tsne = Tsne
+module Registry = Registry
 
 (** [synthesize n] returns a verified sorting kernel for arrays of length
     [n] using the paper's best enumerative configuration. *)

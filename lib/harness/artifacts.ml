@@ -16,20 +16,45 @@ let kernel_header cfg r =
   | p :: _ -> Isa.Program.to_string cfg p ^ "\n"
   | [] -> "# no solution\n"
 
-let write ~full dir =
+(* A registry-served kernel re-renders with the stats digest of the run
+   that originally produced it. *)
+let cached_header cfg (e : Registry.Store.entry) =
+  Printf.sprintf
+    "# served from registry (%s), originally %.3f s, %d states expanded, length %d\n%s\n"
+    (Registry.Key.hash e.Registry.Store.key)
+    e.Registry.Store.elapsed e.Registry.Store.expanded e.Registry.Store.length
+    (Isa.Program.to_string cfg e.Registry.Store.program)
+
+let write ?registry ~full dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let out = ref [] in
   let add name contents = out := write_file dir name contents :: !out in
-  (* sol<n>_h1.txt: first kernel with the best configuration. *)
+  (* sol<n>_h1.txt: first kernel with the best configuration, served from
+     the registry when one is given (and populated on miss). *)
   List.iter
     (fun n ->
       let cfg = Isa.Config.default n in
-      let opts =
-        if n >= 4 then { Search.best with Search.engine = Search.Level_sync }
-        else Search.best
+      let engine = if n >= 4 then Registry.Key.Level else Registry.Key.Astar in
+      let key = Registry.Key.make ~engine n in
+      let hit =
+        match registry with
+        | None -> None
+        | Some root -> (
+            match Registry.Store.lookup ~root key with
+            | Registry.Store.Hit e -> Some e
+            | Registry.Store.Miss | Registry.Store.Quarantined _ -> None)
       in
-      let r = Search.run ~opts cfg in
-      add (Printf.sprintf "sol%d_h1.txt" n) (kernel_header cfg r))
+      let body =
+        match hit with
+        | Some e -> cached_header cfg e
+        | None ->
+            let r = Registry.Scheduler.run_key key in
+            Option.iter
+              (fun root -> ignore (Registry.Store.insert ~root key r))
+              registry;
+            kernel_header cfg r
+      in
+      add (Printf.sprintf "sol%d_h1.txt" n) body)
     (if full then [ 2; 3; 4 ] else [ 2; 3 ]);
   (* All n=3 solutions under the given cut. *)
   let all3 k =

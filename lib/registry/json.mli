@@ -1,0 +1,36 @@
+(** Minimal JSON values for the registry's metadata records and job files.
+
+    The container has no JSON library; {!Search.Stats} carries a write-only
+    emitter and a validator, but the registry also needs to {e read} JSON
+    back (entry metadata on load, job lists in [synth batch]). This module
+    is the smallest value type + recursive-descent parser that covers RFC
+    8259 minus surrogate pairing, which none of our emitters produce. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int  (** Number literals without a fraction or exponent. *)
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; rejects trailing garbage. Error messages carry a
+    0-based byte offset. *)
+
+val to_string : t -> string
+(** Compact rendering. Non-finite floats are clamped to representable
+    decimals (JSON has no inf/nan); the output always passes
+    {!Search.Stats.validate_json}. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k], if any; [None] on
+    non-objects. *)
+
+val to_int : t -> (int, string) result
+(** Accepts [Int] and integral [Float]. *)
+
+val to_float : t -> (float, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result

@@ -1,0 +1,183 @@
+type status = Cached | Synthesized | Timed_out | Failed of string
+
+type job_result = {
+  key : Key.t;
+  status : status;
+  program : Isa.Program.t option;
+  length : int option;
+  attempts : int;
+  elapsed : float;
+  search : Search.result option;
+}
+
+type batch = { results : job_result list; counters : Store.counters }
+
+let run_key ?deadline ?(domains = 2) ?(mode = Search.Find_first) key =
+  let opts = Key.options key and cfg = Key.config key in
+  match key.Key.engine with
+  | Key.Parallel -> Search.run_parallel ~opts ?deadline ~domains ~mode cfg
+  | Key.Astar | Key.Level -> Search.run_mode ~opts ?deadline ~mode cfg
+
+let ( let* ) = Result.bind
+
+let parse_jobs src =
+  let* j = Json.parse src in
+  let* jobs = Json.to_list j in
+  if jobs = [] then Error "jobs file is an empty array"
+  else
+    List.fold_left
+      (fun acc (i, job) ->
+        let* keys = acc in
+        match Key.of_json job with
+        | Ok k -> Ok (k :: keys)
+        | Error e -> Error (Printf.sprintf "job %d: %s" i e))
+      (Ok [])
+      (List.mapi (fun i job -> (i, job)) jobs)
+    |> Result.map List.rev
+
+(* One job, run to completion inside a worker domain: up to
+   [1 + retries] attempts, each against its own deadline. Exceptions
+   must not escape (they would kill the domain), so everything funnels
+   into a [status]. *)
+let run_one ~timeout ~retries key =
+  let start = Unix.gettimeofday () in
+  let rec attempt k =
+    let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+    let outcome =
+      match run_key ?deadline key with
+      | r -> (
+          match r.Search.programs with
+          | p :: _ -> (
+              match Verify.certify (Key.config key) p with
+              | Ok () -> `Done (Synthesized, Some p, Some r)
+              | Error msg -> `Retry (Failed ("certification failed: " ^ msg)))
+          | [] -> `Retry (Failed "no kernel found within the bound"))
+      | exception Search.Timeout -> `Retry Timed_out
+      | exception e -> `Retry (Failed (Printexc.to_string e))
+    in
+    match outcome with
+    | `Done (status, p, r) -> (status, p, r, k)
+    | `Retry status when k > retries -> (status, None, None, k)
+    | `Retry _ -> attempt (k + 1)
+  in
+  let status, program, search, attempts = attempt 1 in
+  {
+    key;
+    status;
+    program;
+    length = Option.map Isa.Program.length program;
+    attempts;
+    elapsed = Unix.gettimeofday () -. start;
+    search;
+  }
+
+let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) keys =
+  let counters = Store.fresh_counters () in
+  let keys = Array.of_list keys in
+  let n = Array.length keys in
+  let results = Array.make n None in
+  (* Lookup pass (main domain): serve hits, queue the rest. *)
+  let pending = ref [] in
+  Array.iteri
+    (fun i key ->
+      let serve e =
+        results.(i) <-
+          Some
+            {
+              key;
+              status = Cached;
+              program = Some e.Store.program;
+              length = Some e.Store.length;
+              attempts = 0;
+              elapsed = 0.;
+              search = None;
+            }
+      in
+      match root with
+      | None ->
+          counters.Store.misses <- counters.Store.misses + 1;
+          pending := i :: !pending
+      | Some root -> (
+          match Store.lookup ~counters ~root key with
+          | Store.Hit e -> serve e
+          | Store.Miss | Store.Quarantined _ -> pending := i :: !pending))
+    keys;
+  let pending = Array.of_list (List.rev !pending) in
+  (* Synthesis pass: workers drain the miss queue. Each [results] slot is
+     written by exactly one worker, so the array needs no lock. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let j = Atomic.fetch_and_add next 1 in
+      if j < Array.length pending then begin
+        let i = pending.(j) in
+        results.(i) <- Some (run_one ~timeout ~retries keys.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let nworkers = max 1 (min workers (Array.length pending)) in
+  let handles =
+    List.init (nworkers - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join handles;
+  (* Merge pass (main domain, input order): deterministic store updates. *)
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           let r = Option.get r in
+           (match (root, r.status, r.search) with
+           | Some root, Synthesized, Some search -> (
+               match Store.insert ~counters ~root keys.(i) search with
+               | Ok _ -> ()
+               | Error _ -> ())
+           | _ -> ());
+           r)
+         results)
+  in
+  { results; counters }
+
+let status_string = function
+  | Cached -> "cached"
+  | Synthesized -> "synthesized"
+  | Timed_out -> "timed_out"
+  | Failed _ -> "failed"
+
+let batch_json batch =
+  let job r =
+    Json.Obj
+      ([
+         ("key", Json.Str (Key.canonical r.key));
+         ("hash", Json.Str (Key.hash r.key));
+         ("status", Json.Str (status_string r.status));
+         ( "length",
+           match r.length with Some l -> Json.Int l | None -> Json.Null );
+         ("attempts", Json.Int r.attempts);
+         ("elapsed_s", Json.Float r.elapsed);
+         ( "expanded",
+           match r.search with
+           | Some s -> Json.Int s.Search.stats.Search.expanded
+           | None -> Json.Null );
+       ]
+      @
+      match r.status with
+      | Failed msg -> [ ("error", Json.Str msg) ]
+      | Cached | Synthesized | Timed_out -> [])
+  in
+  let c = batch.counters in
+  Json.to_string
+    (Json.Obj
+       [
+         ("jobs", Json.Arr (List.map job batch.results));
+         ( "registry",
+           Json.Obj
+             [
+               ("hits", Json.Int c.Store.hits);
+               ("misses", Json.Int c.Store.misses);
+               ("quarantined", Json.Int c.Store.quarantined);
+               ("inserted", Json.Int c.Store.inserted);
+             ] );
+       ])

@@ -1,0 +1,63 @@
+(** Batch synthesis scheduler.
+
+    Takes a list of kernel requests, serves what it can from the registry,
+    and runs the misses across [Domain] workers with a per-job deadline and
+    bounded retry. Results come back in input order and are deterministic in
+    the worker count: a job's search depends only on its own key, workers
+    never share search state, and store insertion happens on the main domain
+    in input order after the join — so a batch over [N] workers produces
+    byte-identical kernels to running each job sequentially. *)
+
+type status =
+  | Cached  (** Served from the registry (verified on load). *)
+  | Synthesized  (** Search ran and the kernel certified. *)
+  | Timed_out  (** Every attempt hit the per-job deadline. *)
+  | Failed of string  (** No kernel, or certification failed. *)
+
+type job_result = {
+  key : Key.t;
+  status : status;
+  program : Isa.Program.t option;
+  length : int option;
+  attempts : int;  (** Search attempts; [0] for cache hits. *)
+  elapsed : float;  (** Seconds spent on this job (all attempts). *)
+  search : Search.result option;  (** Present iff a search completed. *)
+}
+
+type batch = {
+  results : job_result list;  (** Input order. *)
+  counters : Store.counters;
+      (** Hits/misses/quarantines from the lookup pass plus inserts from
+          the merge pass. *)
+}
+
+val run_key :
+  ?deadline:float -> ?domains:int -> ?mode:Search.mode -> Key.t -> Search.result
+(** Dispatch one request to the engine its key names: A*, sequential
+    level-sync, or {!Search.run_parallel} over [domains] workers (default
+    2, [Parallel] keys only). The single place that turns a key into a
+    running search — the CLI's default command uses it too. *)
+
+val parse_jobs : string -> (Key.t list, string) result
+(** Parse a jobs file: a JSON array of request objects (see
+    {!Key.of_json}), e.g.
+    [[{"n":3},{"n":4,"engine":"level","max_len":20}]]. *)
+
+val run_batch :
+  ?root:string ->
+  ?workers:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  Key.t list ->
+  batch
+(** [run_batch keys] with [root] set consults and populates the registry;
+    without it every job synthesizes. [workers] (default 2) domains drain
+    the miss queue. [timeout] is per {e attempt} in seconds; a timed-out or
+    crashed attempt is retried up to [retries] (default 1) more times.
+    Workers never touch the store or the counters — both are updated on the
+    main domain only. *)
+
+val batch_json : batch -> string
+(** Machine-readable batch summary:
+    [{"jobs":[...],"registry":{"hits":...}}]. Always passes
+    {!Search.Stats.validate_json}. *)

@@ -1,0 +1,285 @@
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable quarantined : int;
+  mutable inserted : int;
+}
+
+let fresh_counters () = { hits = 0; misses = 0; quarantined = 0; inserted = 0 }
+
+let counters_json c =
+  Json.to_string
+    (Json.Obj
+       [
+         ("hits", Json.Int c.hits);
+         ("misses", Json.Int c.misses);
+         ("quarantined", Json.Int c.quarantined);
+         ("inserted", Json.Int c.inserted);
+       ])
+
+type entry = {
+  key : Key.t;
+  program : Isa.Program.t;
+  length : int;
+  solution_count : int;
+  expanded : int;
+  elapsed : float;
+  predicted_cost : float;
+}
+
+type lookup = Hit of entry | Miss | Quarantined of string
+
+let format_version = 1
+
+let default_root () =
+  match Sys.getenv_opt "SORTSYNTH_REGISTRY" with
+  | Some dir when dir <> "" -> dir
+  | _ -> ".sortsynth-registry"
+
+let ( / ) = Filename.concat
+let store_dir root = root / "store"
+let quarantine_dir root = root / "quarantine"
+let entry_dir ~root key = store_dir root / Key.hash key
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (path / f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Metadata records.                                                   *)
+
+let meta_json key (e : entry) =
+  Json.Obj
+    [
+      ("format", Json.Int format_version);
+      ("canonical", Json.Str (Key.canonical key));
+      ("key", Key.to_json key);
+      ("length", Json.Int e.length);
+      ("solution_count", Json.Int e.solution_count);
+      ("expanded", Json.Int e.expanded);
+      ("elapsed_s", Json.Float e.elapsed);
+      ("predicted_cost", Json.Float e.predicted_cost);
+    ]
+
+let ( let* ) = Result.bind
+
+let parse_meta src =
+  let* j = Json.parse src in
+  let req name conv =
+    match Json.member name j with
+    | Some v -> conv v
+    | None -> Error (Printf.sprintf "meta.json is missing %S" name)
+  in
+  let* format = req "format" Json.to_int in
+  if format <> format_version then
+    Error (Printf.sprintf "unsupported format version %d" format)
+  else
+    let* canonical = req "canonical" Json.to_str in
+    let* key =
+      match Json.member "key" j with
+      | Some v -> Key.of_json v
+      | None -> Error "meta.json is missing \"key\""
+    in
+    if Key.canonical key <> canonical then
+      Error "canonical string does not match key fields"
+    else
+      let* length = req "length" Json.to_int in
+      let* solution_count = req "solution_count" Json.to_int in
+      let* expanded = req "expanded" Json.to_int in
+      let* elapsed = req "elapsed_s" Json.to_float in
+      let* predicted_cost = req "predicted_cost" Json.to_float in
+      Ok (key, length, solution_count, expanded, elapsed, predicted_cost)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine.                                                         *)
+
+let quarantine ~root ~hash ~reason =
+  let src = store_dir root / hash in
+  let qdir = quarantine_dir root in
+  mkdir_p qdir;
+  let rec dest k =
+    let d = qdir / (if k = 0 then hash else Printf.sprintf "%s.%d" hash k) in
+    if Sys.file_exists d then dest (k + 1) else d
+  in
+  let dst = dest 0 in
+  Sys.rename src dst;
+  write_file (dst / "reason.txt") (reason ^ "\n")
+
+let quarantine_count ~root =
+  let q = quarantine_dir root in
+  if Sys.file_exists q then Array.length (Sys.readdir q) else 0
+
+(* ------------------------------------------------------------------ *)
+(* Load / lookup.                                                      *)
+
+let load ~root hash =
+  let dir = store_dir root / hash in
+  let* meta_src =
+    try Ok (read_file (dir / "meta.json"))
+    with Sys_error m -> Error (Printf.sprintf "unreadable meta.json: %s" m)
+  in
+  let* key, length, solution_count, expanded, elapsed, predicted_cost =
+    parse_meta meta_src
+  in
+  if Key.hash key <> hash then
+    Error "stored key does not hash to its directory name"
+  else
+    let* kernel_src =
+      try Ok (read_file (dir / "kernel.txt"))
+      with Sys_error m -> Error (Printf.sprintf "unreadable kernel.txt: %s" m)
+    in
+    let cfg = Key.config key in
+    let* program = Isa.Program.of_string cfg kernel_src in
+    if Isa.Program.length program <> length then
+      Error
+        (Printf.sprintf "kernel has %d instructions, meta.json says %d"
+           (Isa.Program.length program) length)
+    else
+      Ok
+        {
+          key;
+          program;
+          length;
+          solution_count;
+          expanded;
+          elapsed;
+          predicted_cost;
+        }
+
+let load_unverified ~root hash =
+  if Sys.file_exists (store_dir root / hash) then load ~root hash
+  else Error "no such entry"
+
+let certified ~root hash =
+  let* e = load ~root hash in
+  let* () = Verify.certify (Key.config e.key) e.program in
+  Ok e
+
+let lookup ?counters ~root key =
+  let bump f = Option.iter f counters in
+  let hash = Key.hash key in
+  if not (Sys.file_exists (store_dir root / hash)) then begin
+    bump (fun c -> c.misses <- c.misses + 1);
+    Miss
+  end
+  else
+    match certified ~root hash with
+    | Ok e when Key.equal e.key key ->
+        bump (fun c -> c.hits <- c.hits + 1);
+        Hit e
+    | Ok e ->
+        (* MD5 collision or a hand-edited entry: never serve it. *)
+        let reason =
+          Printf.sprintf "entry key %S does not match request %S"
+            (Key.canonical e.key) (Key.canonical key)
+        in
+        quarantine ~root ~hash ~reason;
+        bump (fun c -> c.quarantined <- c.quarantined + 1);
+        Quarantined reason
+    | Error reason ->
+        quarantine ~root ~hash ~reason;
+        bump (fun c -> c.quarantined <- c.quarantined + 1);
+        Quarantined reason
+
+(* ------------------------------------------------------------------ *)
+(* Insert.                                                             *)
+
+let insert ?counters ~root key (r : Search.result) =
+  match r.Search.programs with
+  | [] -> Error "search result has no program to store"
+  | program :: _ -> (
+      let cfg = Key.config key in
+      let* () = Verify.certify cfg program in
+      let entry =
+        {
+          key;
+          program;
+          length = Isa.Program.length program;
+          solution_count = r.Search.solution_count;
+          expanded = r.Search.stats.Search.expanded;
+          elapsed = r.Search.stats.Search.elapsed;
+          predicted_cost = Perf.Cost.predicted_cost cfg program;
+        }
+      in
+      let hash = Key.hash key in
+      mkdir_p (store_dir root);
+      let tmp = store_dir root / Printf.sprintf ".tmp-%s-%d" hash (Unix.getpid ()) in
+      let final = store_dir root / hash in
+      match
+        if Sys.file_exists tmp then remove_tree tmp;
+        mkdir_p tmp;
+        write_file (tmp / "kernel.txt")
+          (Isa.Program.to_string cfg program ^ "\n");
+        write_file (tmp / "meta.json")
+          (Json.to_string (meta_json key entry) ^ "\n");
+        if Sys.file_exists final then remove_tree final;
+        Sys.rename tmp final
+      with
+      | () ->
+          Option.iter (fun c -> c.inserted <- c.inserted + 1) counters;
+          Ok entry
+      | exception (Sys_error m | Unix.Unix_error (_, m, _)) ->
+          if Sys.file_exists tmp then remove_tree tmp;
+          Error (Printf.sprintf "cannot write entry: %s" m))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance.                                                        *)
+
+let list_hashes ~root =
+  let dir = store_dir root in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun h -> not (String.starts_with ~prefix:"." h))
+    |> List.sort compare
+
+let verify_all ?counters ~root () =
+  List.map
+    (fun hash ->
+      match certified ~root hash with
+      | Ok e -> (hash, Ok e)
+      | Error reason ->
+          quarantine ~root ~hash ~reason;
+          Option.iter
+            (fun c -> c.quarantined <- c.quarantined + 1)
+            counters;
+          (hash, Error reason))
+    (list_hashes ~root)
+
+let gc ~root =
+  let checked = verify_all ~root () in
+  let kept = List.length (List.filter (fun (_, r) -> Result.is_ok r) checked) in
+  let q = quarantine_dir root in
+  let purged =
+    if Sys.file_exists q then begin
+      let n = Array.length (Sys.readdir q) in
+      remove_tree q;
+      n
+    end
+    else 0
+  in
+  (kept, purged)

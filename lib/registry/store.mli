@@ -1,0 +1,78 @@
+(** Content-addressed, verified on-disk kernel store.
+
+    Layout under a root directory:
+    {v
+    <root>/store/<hash>/kernel.txt   Isa.Program.to_string form
+    <root>/store/<hash>/meta.json    key + length + stats digest + cost
+    <root>/quarantine/<hash>[.N]/    failed entries, plus a reason.txt
+    v}
+    where [<hash>] is {!Key.hash} of the request. Inserts are atomic
+    (staged in a temp directory, then renamed); loads re-certify the
+    kernel on all [n!] permutations ({!Verify.certify}) and cross-check
+    the metadata, and any failure {e quarantines} the entry — moves it
+    aside with a recorded reason — rather than serving it. A quarantined
+    request therefore looks like a miss to callers, who re-synthesize and
+    re-insert. *)
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable quarantined : int;
+  mutable inserted : int;
+}
+(** Mutable tallies for one serving session. [hits], [misses], and
+    [quarantined] are disjoint per lookup. *)
+
+val fresh_counters : unit -> counters
+
+val counters_json : counters -> string
+(** Pre-rendered JSON object, e.g. [{"hits":1,"misses":0,...}] — the value
+    handed to {!Search.Stats.to_json}'s [extra] field. *)
+
+type entry = {
+  key : Key.t;
+  program : Isa.Program.t;
+  length : int;
+  solution_count : int;
+  expanded : int;  (** Search-stats digest of the producing run. *)
+  elapsed : float;  (** Seconds the producing search took. *)
+  predicted_cost : float;  (** {!Perf.Cost.predicted_cost} of the kernel. *)
+}
+
+type lookup = Hit of entry | Miss | Quarantined of string
+
+val default_root : unit -> string
+(** [$SORTSYNTH_REGISTRY] if set and non-empty, else [".sortsynth-registry"]
+    in the working directory. *)
+
+val entry_dir : root:string -> Key.t -> string
+
+val lookup : ?counters:counters -> root:string -> Key.t -> lookup
+(** Verified load. [Hit] entries have been re-certified just now;
+    [Quarantined] reports why the stored entry was rejected (the entry has
+    already been moved aside, so retrying returns [Miss]). *)
+
+val insert :
+  ?counters:counters -> root:string -> Key.t -> Search.result -> (entry, string) result
+(** Certify and persist the first program of a search result. Fails
+    (without writing) when the result has no program or the program does
+    not certify. Overwrites any existing entry for the key. *)
+
+val list_hashes : root:string -> string list
+(** Sorted entry hashes currently in the store (no verification). *)
+
+val load_unverified : root:string -> string -> (entry, string) result
+(** Read an entry by hash without certification or quarantine — for
+    [registry list] style inspection only; never serve from this. *)
+
+val verify_all :
+  ?counters:counters -> root:string -> unit -> (string * (entry, string) result) list
+(** Re-certify every entry (sorted by hash). Failing entries are
+    quarantined, exactly as a serving lookup would. *)
+
+val quarantine_count : root:string -> int
+
+val gc : root:string -> int * int
+(** [gc ~root] re-certifies every entry, quarantining failures, then
+    deletes the whole quarantine area. Returns
+    [(entries_kept, entries_purged)]. *)

@@ -1,0 +1,12 @@
+let ints a =
+  String.concat " " (Array.to_list (Array.map string_of_int a))
+
+let certify cfg p =
+  match Machine.Exec.counterexample cfg p with
+  | None -> Ok ()
+  | Some input ->
+      let output = Machine.Exec.run cfg p input in
+      Error
+        (Printf.sprintf
+           "kernel of length %d fails on input [%s]: produced [%s]"
+           (Isa.Program.length p) (ints input) (ints output))

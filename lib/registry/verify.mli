@@ -1,0 +1,11 @@
+(** Kernel certification: the registry's trust boundary.
+
+    Nothing leaves the store unchecked — every load re-runs the paper's
+    correctness procedure (all [n!] permutations, {!Machine.Exec}), so a
+    corrupted or stale entry can never be served. The same check replaces
+    the old [assert] in the CLI, which release builds compiled out. *)
+
+val certify : Isa.Config.t -> Isa.Program.t -> (unit, string) result
+(** [Ok ()] iff the program sorts all permutations. The error message
+    names the first failing input and the produced output — suitable for
+    printing verbatim as a diagnostic. *)

@@ -13,6 +13,8 @@ type action_filter = Expand.action_filter = All_actions | Optimal_guided
 type engine = Expand.engine = Astar | Level_sync
 type mode = Find_first | All_optimal | Prove_none of int
 
+exception Timeout
+
 type options = Expand.options = {
   engine : engine;
   heuristic : heuristic;
@@ -114,6 +116,7 @@ type level_acc = {
 type ctx = {
   env : Expand.env;
   start : float;
+  deadline : float option;  (** Absolute wall-clock limit; see {!Timeout}. *)
   mutable expanded : int;
   mutable deduped : int;
   mutable max_open : int;
@@ -125,7 +128,7 @@ type ctx = {
 
 let now () = Unix.gettimeofday ()
 
-let make_ctx ?(mode = Find_first) cfg opts =
+let make_ctx ?(mode = Find_first) ?deadline cfg opts =
   let bound =
     let b = match opts.max_len with Some b -> b | None -> max_int in
     match mode with Prove_none l -> min b l | Find_first | All_optimal -> b
@@ -133,6 +136,7 @@ let make_ctx ?(mode = Find_first) cfg opts =
   {
     env = Expand.make_env ~bound cfg opts;
     start = now ();
+    deadline;
     expanded = 0;
     deduped = 0;
     max_open = 0;
@@ -144,6 +148,11 @@ let make_ctx ?(mode = Find_first) cfg opts =
 
 let fresh_acc () =
   { d = Expand.zero_delta (); a_expanded = 0; a_deduped = 0; a_open = 0 }
+
+let check_deadline ctx =
+  match ctx.deadline with
+  | Some d when now () > d -> raise Timeout
+  | _ -> ()
 
 (* The accumulator for expansions of depth-[depth] nodes. *)
 let acc_at ctx depth =
@@ -336,6 +345,7 @@ let run_level ctx ~domains mode =
                   Sstate.Tbl.replace next state' n')
       in
       let consume node succs =
+        check_deadline ctx;
         ctx.expanded <- ctx.expanded + 1;
         a.a_expanded <- a.a_expanded + 1;
         sample_trace ctx ~open_states:(Sstate.Tbl.length next);
@@ -449,6 +459,7 @@ let run_astar ctx =
       match Heap.pop heap with
       | None -> continue := false
       | Some (_, node) ->
+          check_deadline ctx;
           let a = acc_at ctx node.g in
           ctx.expanded <- ctx.expanded + 1;
           a.a_expanded <- a.a_expanded + 1;
@@ -518,12 +529,13 @@ let run_astar ctx =
 
 (* ------------------------------------------------------------------ *)
 
-let run_parallel ?(opts = default) ?(domains = 4) ?(mode = Find_first) cfg =
-  let ctx = make_ctx ~mode cfg opts in
+let run_parallel ?(opts = default) ?deadline ?(domains = 4) ?(mode = Find_first)
+    cfg =
+  let ctx = make_ctx ~mode ?deadline cfg opts in
   run_level ctx ~domains mode
 
-let run_mode ?(opts = default) ~mode cfg =
-  let ctx = make_ctx ~mode cfg opts in
+let run_mode ?(opts = default) ?deadline ~mode cfg =
+  let ctx = make_ctx ~mode ?deadline cfg opts in
   match (mode, opts.engine) with
   | Find_first, Astar -> run_astar ctx
   | Find_first, Level_sync -> run_level_sync ctx Find_first
@@ -531,9 +543,9 @@ let run_mode ?(opts = default) ~mode cfg =
       (* Enumeration and non-existence proofs need exact level order. *)
       run_level_sync ctx mode
 
-let run ?(opts = default) cfg = run_mode ~opts ~mode:Find_first cfg
+let run ?(opts = default) ?deadline cfg = run_mode ~opts ?deadline ~mode:Find_first cfg
 
-let stats_json ?label result = Stats.to_json ?label result.stats
+let stats_json ?label ?extra result = Stats.to_json ?label ?extra result.stats
 
 let synthesize ?(opts = best) n =
   let cfg = Isa.Config.default n in

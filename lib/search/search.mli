@@ -67,6 +67,12 @@ type action_filter = Expand.action_filter =
 
 type engine = Expand.engine = Astar | Level_sync
 
+exception Timeout
+(** Raised by the engines when a [?deadline] passes mid-search (checked once
+    per expanded node, so the raise is prompt even on large levels). Partial
+    statistics are discarded; callers that need bounded runs — the registry's
+    batch scheduler in particular — catch this and count the attempt. *)
+
 type mode =
   | Find_first  (** Stop at the first final state. *)
   | All_optimal
@@ -166,14 +172,21 @@ type result = {
   stats : stats;
 }
 
-val run : ?opts:options -> Isa.Config.t -> result
+val run : ?opts:options -> ?deadline:float -> Isa.Config.t -> result
 (** Synthesize sorting kernels for [cfg]. In [Find_first] mode, returns as
-    soon as a correct kernel is found. *)
+    soon as a correct kernel is found. [deadline] is an absolute
+    [Unix.gettimeofday]-clock instant; the engine raises {!Timeout} when it
+    passes. *)
 
-val run_mode : ?opts:options -> mode:mode -> Isa.Config.t -> result
+val run_mode : ?opts:options -> ?deadline:float -> mode:mode -> Isa.Config.t -> result
 
 val run_parallel :
-  ?opts:options -> ?domains:int -> ?mode:mode -> Isa.Config.t -> result
+  ?opts:options ->
+  ?deadline:float ->
+  ?domains:int ->
+  ?mode:mode ->
+  Isa.Config.t ->
+  result
 (** Level-synchronous search with each level expanded by [domains] worker
     domains (the paper's parallel Dijkstra; Section 3.1 notes the approach
     "is parallelizable as we can process all programs of a certain length
@@ -190,8 +203,9 @@ val run_parallel :
     sequential engine's (workers expand the whole level before the merge
     notices a solution). *)
 
-val stats_json : ?label:string -> result -> string
-(** JSON snapshot of a run's statistics; see {!Stats.to_json}. *)
+val stats_json : ?label:string -> ?extra:(string * string) list -> result -> string
+(** JSON snapshot of a run's statistics; see {!Stats.to_json}. [extra]
+    fields (pre-rendered JSON values) are appended at the top level. *)
 
 val synthesize : ?opts:options -> int -> Isa.Program.t option
 (** [synthesize n] finds one sorting kernel for arrays of length [n] with

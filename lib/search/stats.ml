@@ -75,7 +75,7 @@ let add_list b add_item items =
     items;
   Buffer.add_char b ']'
 
-let to_json ?label s =
+let to_json ?label ?(extra = []) s =
   let b = Buffer.create 1024 in
   let counters_field bb =
     add_fields bb
@@ -126,6 +126,9 @@ let to_json ?label s =
         ("timeline", timeline_field);
         ("levels", levels_field);
       ]
+    @ List.map
+        (fun (k, raw) -> (k, fun bb -> Buffer.add_string bb raw))
+        extra
   in
   add_fields b fields;
   Buffer.contents b

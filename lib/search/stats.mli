@@ -42,11 +42,14 @@ type t = {
   levels : level_stat list;  (** Shallowest first. *)
 }
 
-val to_json : ?label:string -> t -> string
+val to_json : ?label:string -> ?extra:(string * string) list -> t -> string
 (** Render a stats snapshot as a JSON object:
     [{"label": ..., "counters": {...}, "timeline": [...], "levels": [...]}].
-    The [label] field is omitted when not given. The output always passes
-    {!validate_json}. *)
+    The [label] field is omitted when not given. Each [(name, value)] in
+    [extra] is appended as an additional top-level field; [value] must be a
+    pre-rendered JSON value (this is how the registry's hit/miss/quarantine
+    counters flow into the snapshot). The output always passes
+    {!validate_json} provided every [extra] value does. *)
 
 val validate_json : string -> (unit, string) result
 (** Check that a string is one well-formed JSON value (objects, arrays,

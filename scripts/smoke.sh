@@ -23,4 +23,29 @@ case "$(head -c 1 "$out")" in
   *) echo "stats snapshot does not start with '['" >&2; exit 1 ;;
 esac
 
+echo "== registry cache round trip =="
+reg="${TMPDIR:-/tmp}/sortsynth-registry-smoke"
+rm -rf "$reg"
+# First run populates the store; the repeated request must be served from
+# the registry (verified on load) without running the search, and the
+# stats snapshot must show the hit.
+dune exec bin/synth.exe -- -n 4 --cache --cache-dir "$reg" > /dev/null
+second="$(dune exec bin/synth.exe -- -n 4 --cache --cache-dir "$reg" --stats-json -)"
+echo "$second" | grep -q "registry hit" \
+  || { echo "second --cache run did not hit the registry" >&2; exit 1; }
+echo "$second" | grep -q '"registry":{"hits":1' \
+  || { echo "stats snapshot does not report the registry hit" >&2; exit 1; }
+
+echo "== batch scheduler =="
+jobs="${TMPDIR:-/tmp}/sortsynth-jobs-smoke.json"
+printf '[{"n":2},{"n":3},{"n":3,"engine":"level"},{"n":3,"engine":"parallel"}]\n' > "$jobs"
+dune exec bin/synth.exe -- batch "$jobs" -j 2 --cache-dir "$reg" > /dev/null
+# Every batch job repeats a stored request: all four must be cache hits.
+dune exec bin/synth.exe -- batch "$jobs" -j 2 --cache-dir "$reg" \
+  | grep -q "# registry: 4 hits, 0 misses" \
+  || { echo "repeated batch was not fully served from the registry" >&2; exit 1; }
+dune exec bin/synth.exe -- registry verify --cache-dir "$reg" > /dev/null \
+  || { echo "registry verify failed" >&2; exit 1; }
+rm -rf "$reg" "$jobs"
+
 echo "smoke ok: $out"

@@ -96,6 +96,50 @@ let test_rename_registers () =
   let p' = Isa.Program.rename_registers p [| 2; 3; 0; 1 |] in
   check Alcotest.string "renamed" "mov r3 s1" (Isa.Program.to_string cfg3 p')
 
+(* The registry persists kernels in Program.to_string form, so the
+   round trip must hold for every register-file shape it can store, not
+   just the default n=3/m=1. *)
+let test_program_roundtrip_all_configs () =
+  for n = 2 to 5 do
+    for m = 0 to 3 do
+      let cfg = Isa.Config.make ~n ~m in
+      (* One program containing the whole instruction universe exercises
+         every opcode × register-name combination at once. *)
+      let p = Isa.Instr.all cfg in
+      match Isa.Program.of_string cfg (Isa.Program.to_string cfg p) with
+      | Ok p' ->
+          if not (Isa.Program.equal p p') then
+            Alcotest.failf "roundtrip mismatch at n=%d m=%d" n m
+      | Error e -> Alcotest.failf "n=%d m=%d: %s" n m e
+    done
+  done;
+  (* A program printed under a larger register file must not parse under a
+     smaller one. *)
+  let big = Isa.Config.make ~n:5 ~m:3 in
+  let small = Isa.Config.make ~n:2 ~m:1 in
+  match Isa.Program.of_string small (Isa.Program.to_string big (Isa.Instr.all big)) with
+  | Ok _ -> Alcotest.fail "parsed r5/s3 operands under n=2 m=1"
+  | Error _ -> ()
+
+let prop_program_roundtrip_random =
+  (* Random programs over random register-file shapes (the scratch configs
+     the registry can address). *)
+  let gen =
+    QCheck.Gen.(
+      tup3 (int_range 2 5) (int_range 0 3) (list_size (int_bound 40) (int_bound 1_000_000)))
+  in
+  QCheck.Test.make ~name:"program parse/print roundtrip (all configs)" ~count:200
+    (QCheck.make gen) (fun (n, m, picks) ->
+      let cfg = Isa.Config.make ~n ~m in
+      let univ = Isa.Instr.all cfg in
+      let p =
+        Array.of_list
+          (List.map (fun k -> univ.(k mod Array.length univ)) picks)
+      in
+      match Isa.Program.of_string cfg (Isa.Program.to_string cfg p) with
+      | Ok p' -> Isa.Program.equal p p'
+      | Error _ -> false)
+
 let prop_parse_print_roundtrip =
   QCheck.Test.make ~name:"instr parse/print roundtrip" ~count:500
     QCheck.(int_bound (Array.length (Isa.Instr.all cfg3) - 1))
@@ -125,11 +169,14 @@ let () =
       ( "program",
         [
           Alcotest.test_case "roundtrip" `Quick test_program_roundtrip;
+          Alcotest.test_case "roundtrip all configs" `Quick
+            test_program_roundtrip_all_configs;
           Alcotest.test_case "comments" `Quick test_program_parse_comments;
           Alcotest.test_case "opcode signature" `Quick test_opcode_signature;
           Alcotest.test_case "counts and score" `Quick
             test_opcode_counts_and_score;
           Alcotest.test_case "rename" `Quick test_rename_registers;
         ] );
-      ("properties", [ qtest prop_parse_print_roundtrip ]);
+      ( "properties",
+        [ qtest prop_parse_print_roundtrip; qtest prop_program_roundtrip_random ] );
     ]

@@ -1,0 +1,319 @@
+let check = Alcotest.check
+
+let fresh_root =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.temp_dir "sortsynth-registry" (string_of_int !counter)
+
+let key3 = Registry.Key.make 3
+let key2 = Registry.Key.make 2
+
+let program_testable cfg =
+  Alcotest.testable (Isa.Program.pp cfg) Isa.Program.equal
+
+(* ------------------------------------------------------------------ *)
+(* Keys.                                                               *)
+
+let test_key_canonical () =
+  check Alcotest.string "canonical"
+    "v1;isa=cmov;n=3;m=1;engine=astar;heuristic=perm;cut=mult:1.000;len=-"
+    (Registry.Key.canonical key3);
+  check Alcotest.int "hash is 32 hex chars" 32
+    (String.length (Registry.Key.hash key3));
+  (* Any field change must change the address. *)
+  let variants =
+    [
+      Registry.Key.make 4;
+      Registry.Key.make ~m:2 3;
+      Registry.Key.make ~engine:Registry.Key.Level 3;
+      Registry.Key.make ~engine:Registry.Key.Parallel 3;
+      Registry.Key.make ~heuristic:Search.No_heuristic 3;
+      Registry.Key.make ~cut:Search.No_cut 3;
+      Registry.Key.make ~cut:(Search.Add 2) 3;
+      Registry.Key.make ~max_len:11 3;
+    ]
+  in
+  let hashes = Registry.Key.hash key3 :: List.map Registry.Key.hash variants in
+  check Alcotest.int "all hashes distinct" (List.length hashes)
+    (List.length (List.sort_uniq compare hashes))
+
+let test_key_strings () =
+  List.iter
+    (fun (s, e) ->
+      check Alcotest.string "engine roundtrip" s (Registry.Key.engine_to_string e);
+      match Registry.Key.engine_of_string s with
+      | Ok e' -> assert (e = e')
+      | Error m -> Alcotest.fail m)
+    Registry.Key.engine_assoc;
+  List.iter
+    (fun c ->
+      match Registry.Key.cut_of_string (Registry.Key.cut_to_string c) with
+      | Ok c' -> assert (c = c')
+      | Error m -> Alcotest.fail m)
+    [ Search.No_cut; Search.Mult 1.0; Search.Mult 2.5; Search.Add 2 ];
+  (match Registry.Key.heuristic_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted unknown heuristic"
+  | Error _ -> ());
+  assert (Registry.Key.cut_of_factor 0. = Search.No_cut);
+  assert (Registry.Key.cut_of_factor 2. = Search.Mult 2.)
+
+let test_key_json () =
+  let k =
+    Registry.Key.make ~m:2 ~engine:Registry.Key.Level
+      ~heuristic:Search.Dist_bound ~cut:(Search.Add 1) ~max_len:20 4
+  in
+  (match Registry.Key.of_json (Registry.Key.to_json k) with
+  | Ok k' -> assert (Registry.Key.equal k k')
+  | Error m -> Alcotest.fail m);
+  (* Batch-job shorthand: only "n" required, numeric cut factor allowed. *)
+  (match Result.bind (Registry.Json.parse {|{"n": 3, "cut": 0}|}) Registry.Key.of_json with
+  | Ok k' ->
+      assert (Registry.Key.equal k' (Registry.Key.make ~cut:Search.No_cut 3))
+  | Error m -> Alcotest.fail m);
+  match Result.bind (Registry.Json.parse {|{"m": 1}|}) Registry.Key.of_json with
+  | Ok _ -> Alcotest.fail "accepted job without n"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON values.                                                        *)
+
+let test_json_roundtrip () =
+  let v =
+    Registry.Json.(
+      Obj
+        [
+          ("a", Arr [ Int 1; Float 2.5; Null; Bool true ]);
+          ("s", Str "line\n\"quoted\"\tend");
+          ("nested", Obj [ ("empty", Arr []); ("eo", Obj []) ]);
+        ])
+  in
+  let s = Registry.Json.to_string v in
+  (match Search.Stats.validate_json s with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("emitted JSON invalid: " ^ m));
+  (match Registry.Json.parse s with
+  | Ok v' -> assert (v = v')
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun bad ->
+      match Registry.Json.parse bad with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nul" ]
+
+(* ------------------------------------------------------------------ *)
+(* Store.                                                              *)
+
+let synth_result key = Registry.Scheduler.run_key key
+
+let test_store_roundtrip () =
+  let root = fresh_root () in
+  let counters = Registry.Store.fresh_counters () in
+  check Alcotest.bool "initial miss" true
+    (Registry.Store.lookup ~counters ~root key3 = Registry.Store.Miss);
+  let r = synth_result key3 in
+  let entry =
+    match Registry.Store.insert ~counters ~root key3 r with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  check Alcotest.int "stored length" 11 entry.Registry.Store.length;
+  (match Registry.Store.lookup ~counters ~root key3 with
+  | Registry.Store.Hit e ->
+      check
+        (program_testable (Registry.Key.config key3))
+        "same program" (List.hd r.Search.programs) e.Registry.Store.program;
+      check Alcotest.int "solution count" r.Search.solution_count
+        e.Registry.Store.solution_count;
+      assert (e.Registry.Store.predicted_cost > 0.)
+  | _ -> Alcotest.fail "expected hit");
+  check Alcotest.int "hits" 1 counters.Registry.Store.hits;
+  check Alcotest.int "misses" 1 counters.Registry.Store.misses;
+  check Alcotest.int "inserted" 1 counters.Registry.Store.inserted;
+  check Alcotest.int "quarantined" 0 counters.Registry.Store.quarantined;
+  (match Search.Stats.validate_json (Registry.Store.counters_json counters) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* A key differing only in an option must miss. *)
+  let other = Registry.Key.make ~heuristic:Search.No_heuristic 3 in
+  assert (Registry.Store.lookup ~root other = Registry.Store.Miss)
+
+let corrupt_kernel ~root key text =
+  let dir = Registry.Store.entry_dir ~root key in
+  let oc = open_out (Filename.concat dir "kernel.txt") in
+  output_string oc text;
+  close_out oc
+
+let test_store_quarantine () =
+  let root = fresh_root () in
+  let counters = Registry.Store.fresh_counters () in
+  (match Registry.Store.insert ~root key2 (synth_result key2) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* Same length as the real kernel (4) and parses fine, but sorts
+     nothing: the length cross-check passes and certification must be the
+     layer that catches it. *)
+  corrupt_kernel ~root key2 "mov s1 r1\nmov r1 r2\nmov r2 s1\ncmp r1 r2\n";
+  (match Registry.Store.lookup ~counters ~root key2 with
+  | Registry.Store.Quarantined reason ->
+      check Alcotest.bool "reason mentions the failing input" true
+        (String.length reason > 0)
+  | Registry.Store.Hit _ -> Alcotest.fail "served a corrupted kernel"
+  | Registry.Store.Miss -> Alcotest.fail "corrupted entry vanished");
+  check Alcotest.int "quarantined counter" 1 counters.Registry.Store.quarantined;
+  check Alcotest.int "quarantine dir" 1 (Registry.Store.quarantine_count ~root);
+  (* The bad entry was moved aside: the key now misses and can be
+     repopulated. *)
+  assert (Registry.Store.lookup ~counters ~root key2 = Registry.Store.Miss);
+  (match Registry.Store.insert ~root key2 (synth_result key2) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* Unparsable garbage quarantines too (second quarantine of this hash
+     must not collide with the first). *)
+  corrupt_kernel ~root key2 "totally not a kernel\n";
+  (match Registry.Store.lookup ~root key2 with
+  | Registry.Store.Quarantined _ -> ()
+  | _ -> Alcotest.fail "expected quarantine of unparsable kernel");
+  check Alcotest.int "two quarantined dirs" 2
+    (Registry.Store.quarantine_count ~root)
+
+let test_store_verify_gc () =
+  let root = fresh_root () in
+  List.iter
+    (fun key ->
+      match Registry.Store.insert ~root key (synth_result key) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    [ key2; key3 ];
+  corrupt_kernel ~root key2 "mov s1 r1\nmov r1 r2\nmov r2 s1\ncmp r1 r2\n";
+  let checked = Registry.Store.verify_all ~root () in
+  check Alcotest.int "checked both" 2 (List.length checked);
+  check Alcotest.int "one bad" 1
+    (List.length (List.filter (fun (_, r) -> Result.is_error r) checked));
+  let kept, purged = Registry.Store.gc ~root in
+  check Alcotest.int "kept" 1 kept;
+  check Alcotest.int "purged" 1 purged;
+  check Alcotest.int "quarantine emptied" 0 (Registry.Store.quarantine_count ~root)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler.                                                          *)
+
+let mixed_jobs () =
+  [
+    Registry.Key.make 2;
+    Registry.Key.make 3;
+    Registry.Key.make ~engine:Registry.Key.Level 3;
+    Registry.Key.make ~engine:Registry.Key.Parallel 3;
+    Registry.Key.make ~heuristic:Search.Assign_count 3;
+    Registry.Key.make ~engine:Registry.Key.Level 2;
+    Registry.Key.make ~max_len:11 3;
+    Registry.Key.make ~engine:Registry.Key.Parallel 2;
+  ]
+
+let test_batch_matches_sequential () =
+  let jobs = mixed_jobs () in
+  let root = fresh_root () in
+  let b = Registry.Scheduler.run_batch ~root ~workers:2 jobs in
+  check Alcotest.int "all jobs answered" (List.length jobs)
+    (List.length b.Registry.Scheduler.results);
+  List.iter2
+    (fun key r ->
+      let cfg = Registry.Key.config key in
+      assert (r.Registry.Scheduler.status = Registry.Scheduler.Synthesized);
+      let sequential = List.hd (Registry.Scheduler.run_key key).Search.programs in
+      match r.Registry.Scheduler.program with
+      | Some p -> check (program_testable cfg) "parallel = sequential" sequential p
+      | None -> Alcotest.fail "batch job lost its program")
+    jobs b.Registry.Scheduler.results;
+  check Alcotest.int "all were misses" (List.length jobs)
+    b.Registry.Scheduler.counters.Registry.Store.misses;
+  check Alcotest.int "all inserted" (List.length jobs)
+    b.Registry.Scheduler.counters.Registry.Store.inserted;
+  (* Second run over the same registry: everything served from the store,
+     with the same kernels. *)
+  let b2 = Registry.Scheduler.run_batch ~root ~workers:3 jobs in
+  List.iter2
+    (fun r1 r2 ->
+      assert (r2.Registry.Scheduler.status = Registry.Scheduler.Cached);
+      assert (
+        r1.Registry.Scheduler.program = r2.Registry.Scheduler.program))
+    b.Registry.Scheduler.results b2.Registry.Scheduler.results;
+  check Alcotest.int "all hits" (List.length jobs)
+    b2.Registry.Scheduler.counters.Registry.Store.hits;
+  match Search.Stats.validate_json (Registry.Scheduler.batch_json b2) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("batch JSON invalid: " ^ m)
+
+let test_batch_timeout_and_failure () =
+  (* An n=4 certified-minimal search cannot finish in 2 ms: every attempt
+     must hit the deadline, and the bounded retry must stop at 1 + retries
+     attempts. *)
+  let slow = Registry.Key.make ~engine:Registry.Key.Level 4 in
+  let b = Registry.Scheduler.run_batch ~workers:1 ~timeout:0.002 ~retries:2 [ slow ] in
+  (match b.Registry.Scheduler.results with
+  | [ r ] ->
+      assert (r.Registry.Scheduler.status = Registry.Scheduler.Timed_out);
+      check Alcotest.int "attempts" 3 r.Registry.Scheduler.attempts;
+      assert (r.Registry.Scheduler.program = None)
+  | _ -> Alcotest.fail "expected one result");
+  (* n=2 with no scratch register has no kernel in this ISA: a clean
+     failure, not a crash, and nothing gets stored. *)
+  let root = fresh_root () in
+  let impossible = Registry.Key.make ~m:0 2 in
+  let b = Registry.Scheduler.run_batch ~root ~workers:2 [ impossible ] in
+  (match b.Registry.Scheduler.results with
+  | [ r ] -> (
+      match r.Registry.Scheduler.status with
+      | Registry.Scheduler.Failed _ -> ()
+      | _ -> Alcotest.fail "expected failure")
+  | _ -> Alcotest.fail "expected one result");
+  check Alcotest.int "nothing stored" 0
+    b.Registry.Scheduler.counters.Registry.Store.inserted
+
+let test_parse_jobs () =
+  (match
+     Registry.Scheduler.parse_jobs
+       {|[{"n":2},{"n":3,"engine":"level","max_len":11}]|}
+   with
+  | Ok [ a; b ] ->
+      assert (Registry.Key.equal a key2);
+      assert (
+        Registry.Key.equal b
+          (Registry.Key.make ~engine:Registry.Key.Level ~max_len:11 3))
+  | Ok _ -> Alcotest.fail "wrong job count"
+  | Error m -> Alcotest.fail m);
+  (match Registry.Scheduler.parse_jobs "[]" with
+  | Ok _ -> Alcotest.fail "accepted empty jobs"
+  | Error _ -> ());
+  match Registry.Scheduler.parse_jobs {|[{"n":2},{"n":99}]|} with
+  | Ok _ -> Alcotest.fail "accepted out-of-range n"
+  | Error m ->
+      check Alcotest.bool "error names the job" true
+        (String.length m > 0 && String.sub m 0 5 = "job 1")
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "canonical + hash" `Quick test_key_canonical;
+          Alcotest.test_case "string conversions" `Quick test_key_strings;
+          Alcotest.test_case "json" `Quick test_key_json;
+        ] );
+      ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "quarantine" `Quick test_store_quarantine;
+          Alcotest.test_case "verify + gc" `Quick test_store_verify_gc;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "batch = sequential" `Quick
+            test_batch_matches_sequential;
+          Alcotest.test_case "timeout + failure" `Quick
+            test_batch_timeout_and_failure;
+          Alcotest.test_case "parse jobs" `Quick test_parse_jobs;
+        ] );
+    ]
