@@ -12,7 +12,10 @@
      synth -n 3 --cache               serve/populate the kernel registry
      synth -n 3 --stats-json -        dump the search-stats JSON snapshot
      synth batch jobs.json -j 4      run a job list through the registry
-     synth registry list|verify|gc    inspect / re-certify / sweep the store *)
+     synth registry list|verify|gc    inspect / re-certify / sweep the store
+     synth lint kernel.txt            static lints; exit 1 on ERROR findings
+     synth analyze kernel.txt         full report: dataflow, abstract
+                                      certification, proof-carrying DCE *)
 
 open Cmdliner
 
@@ -100,9 +103,34 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
     (* Only plain find-first requests are cacheable: the store holds one
        kernel per key, not solution enumerations or non-existence proofs. *)
     let cacheable = cache && mode = Search.Find_first in
+    (* Every kernel we are about to print gets a static-analysis pass; the
+       verdict rides along in the stats snapshot and any ERROR finding —
+       impossible for a synthesized-optimal kernel — is shouted. *)
+    let analysis_note = ref None in
+    let note_analysis p =
+      let fs = Analysis.Lint.check_all cfg p in
+      let errs = List.length (Analysis.Lint.errors fs) in
+      let d = Analysis.Dce.run cfg p in
+      analysis_note :=
+        Some
+          (Printf.sprintf {|{"findings":%d,"errors":%d,"eliminated":%d}|}
+             (List.length fs) errs
+             (List.length d.Analysis.Dce.removed));
+      if errs > 0 then
+        Printf.eprintf "synth: lint: %s on the produced kernel\n"
+          (Analysis.Lint.summary fs)
+    in
     let extra () =
-      if cache then Some [ ("registry", Registry.Store.counters_json counters) ]
-      else None
+      match
+        (if cache then
+           [ ("registry", Registry.Store.counters_json counters) ]
+         else [])
+        @ (match !analysis_note with
+          | Some j -> [ ("analysis", j) ]
+          | None -> [])
+      with
+      | [] -> None
+      | l -> Some l
     in
     let dump_stats stats =
       match stats_json with
@@ -126,6 +154,7 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
         print_endline
           (if x86 then Isa.Program.to_x86 cfg e.Registry.Store.program
            else Isa.Program.to_string cfg e.Registry.Store.program);
+        note_analysis e.Registry.Store.program;
         dump_stats zero_stats;
         `Ok ()
     | None ->
@@ -142,6 +171,7 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
             | [] -> Printf.printf "no kernel found\n"
             | p :: _ ->
                 certify_or_die cfg p;
+                note_analysis p;
                 Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
                   (Array.length p) r.Search.solution_count
                   r.Search.stats.Search.elapsed r.Search.stats.Search.expanded;
@@ -344,6 +374,289 @@ let batch_cmd =
         $ cache_dir $ x86 $ stats_json))
 
 (* ------------------------------------------------------------------ *)
+(* lint / analyze: the static analyzer over kernel files.              *)
+
+let read_file_res path =
+  match open_in_bin path with
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Ok s
+  | exception Sys_error msg -> Error msg
+
+(* Kernel files carry no register-file header; unless -n/-m are given,
+   infer the smallest configuration covering the registers the kernel
+   names (parse once under the widest file, then re-parse under the
+   inferred one so diagnostics use the right names). *)
+let infer_dims src =
+  let wide = Isa.Config.make ~n:6 ~m:3 in
+  match Isa.Program.of_string wide src with
+  | Error e -> Error e
+  | Ok p ->
+      let nv = ref 0 and ns = ref 0 in
+      Array.iter
+        (fun i ->
+          List.iter
+            (fun r ->
+              if r < 6 then nv := max !nv (r + 1) else ns := max !ns (r - 5))
+            [ i.Isa.Instr.dst; i.Isa.Instr.src ])
+        p;
+      Ok (max 1 !nv, !ns)
+
+let parse_kernel ~n ~m src =
+  let ( let* ) = Result.bind in
+  let* n, m =
+    match (n, m) with
+    | Some n, Some m -> Ok (n, m)
+    | _ ->
+        let* inf_n, inf_m = infer_dims src in
+        Ok (Option.value n ~default:inf_n, Option.value m ~default:inf_m)
+  in
+  match Isa.Config.make ~n ~m with
+  | cfg ->
+      let* numbered = Isa.Program.of_string_numbered cfg src in
+      Ok (cfg, Array.map fst numbered, Array.map snd numbered)
+  | exception Invalid_argument msg -> Error msg
+
+let print_findings file lines findings =
+  List.iter
+    (fun f ->
+      let loc =
+        match f.Analysis.Lint.index with
+        | Some i when i < Array.length lines ->
+            Printf.sprintf "%s:%d" file lines.(i)
+        | _ -> file
+      in
+      Printf.printf "%s: %s[%s] %s\n" loc
+        (Analysis.Lint.severity_to_string f.Analysis.Lint.severity)
+        (Analysis.Lint.rule_id f.Analysis.Lint.rule)
+        f.Analysis.Lint.message)
+    findings
+
+let run_lint files n m json =
+  let reports =
+    List.map
+      (fun file ->
+        let r =
+          Result.bind (read_file_res file) (fun src -> parse_kernel ~n ~m src)
+        in
+        (file, r))
+      files
+  in
+  let errors = ref 0 in
+  let analyzed =
+    List.map
+      (fun (file, r) ->
+        match r with
+        | Error msg ->
+            incr errors;
+            (file, Error msg)
+        | Ok (cfg, prog, lines) ->
+            let findings = Analysis.Lint.check_all cfg prog in
+            errors := !errors + List.length (Analysis.Lint.errors findings);
+            (file, Ok (cfg, findings, lines)))
+      reports
+  in
+  if json then begin
+    let parts =
+      List.map
+        (fun (file, r) ->
+          match r with
+          | Error msg ->
+              Registry.Json.to_string
+                (Registry.Json.Obj
+                   [ ("file", Registry.Json.Str file);
+                     ("error", Registry.Json.Str msg) ])
+          | Ok (_, findings, lines) ->
+              Analysis.Lint.report_json ~file ~lines findings)
+        analyzed
+    in
+    print_endline ("[" ^ String.concat "," parts ^ "]")
+  end
+  else begin
+    List.iter
+      (fun (file, r) ->
+        match r with
+        | Error msg -> Printf.printf "%s: parse error: %s\n" file msg
+        | Ok (cfg, findings, lines) ->
+            if findings = [] then
+              Printf.printf "%s: clean (n=%d m=%d, %d instructions)\n" file
+                cfg.Isa.Config.n cfg.Isa.Config.m (Array.length lines)
+            else print_findings file lines findings)
+      analyzed;
+    let total =
+      List.fold_left
+        (fun acc (_, r) ->
+          match r with Ok (_, fs, _) -> acc + List.length fs | Error _ -> acc)
+        0 analyzed
+    in
+    Printf.printf "# %d file(s), %d finding(s), %d error(s)\n"
+      (List.length files) total !errors
+  end;
+  if !errors > 0 then exit 1;
+  `Ok ()
+
+let run_analyze file n m json =
+  match Result.bind (read_file_res file) (fun src -> parse_kernel ~n ~m src) with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  | Ok (cfg, prog, lines) ->
+      let findings = Analysis.Lint.check_all cfg prog in
+      let sizes = Analysis.Absint.set_sizes cfg prog in
+      let cert = Analysis.Absint.certify cfg prog in
+      let d = Analysis.Dce.run cfg prog in
+      let removed = d.Analysis.Dce.removed in
+      if json then begin
+        (* Reuse the lint report as the base object and graft the abstract-
+           interpretation and DCE sections on. *)
+        let base =
+          match
+            Registry.Json.parse (Analysis.Lint.report_json ~file ~lines findings)
+          with
+          | Ok (Registry.Json.Obj kvs) -> kvs
+          | _ -> []
+        in
+        let open Registry.Json in
+        let dce =
+          Obj
+            [
+              ("removed", Int (List.length removed));
+              ( "indices",
+                Arr (List.map (fun r -> Int r.Analysis.Dce.index) removed) );
+              ( "rules",
+                Arr
+                  (List.map
+                     (fun r -> Str (Analysis.Lint.rule_id r.Analysis.Dce.rule))
+                     removed) );
+              ("passes", Int d.Analysis.Dce.passes);
+              ("refused", Bool d.Analysis.Dce.refused);
+              ("certified", Bool d.Analysis.Dce.certified);
+              ("length", Int (Array.length d.Analysis.Dce.optimized));
+              ( "program",
+                Str (Isa.Program.to_string cfg d.Analysis.Dce.optimized) );
+            ]
+        in
+        print_endline
+          (to_string
+             (Obj
+                (base
+                @ [
+                    ("n", Int cfg.Isa.Config.n);
+                    ("m", Int cfg.Isa.Config.m);
+                    ("length", Int (Array.length prog));
+                    ( "reachable",
+                      Arr (Array.to_list (Array.map (fun s -> Int s) sizes)) );
+                    ("certified", Bool (Result.is_ok cert));
+                    ("dce", dce);
+                  ])))
+      end
+      else begin
+        Printf.printf "# %s: n=%d m=%d, %d instructions\n" file
+          cfg.Isa.Config.n cfg.Isa.Config.m (Array.length prog);
+        let df = Analysis.Dataflow.analyze cfg prog in
+        Array.iteri
+          (fun i x ->
+            Printf.printf "%3d  line %-3d  %-14s %s%s\n" i lines.(i)
+              (Isa.Instr.to_string cfg x)
+              (match Analysis.Dataflow.reaching_cmp df i with
+              | Some j -> Printf.sprintf "flags=cmp@%d" j
+              | None -> "flags=initial")
+              (if Analysis.Dataflow.is_effective df i then "" else "  [dead]"))
+          prog;
+        Printf.printf "# reachable assignments per point: %s\n"
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int sizes)));
+        (match cert with
+        | Ok () ->
+            Printf.printf
+              "# certification: OK — all %d reachable final assignments \
+               sorted (proves correctness on all %d! inputs)\n"
+              sizes.(Array.length prog) cfg.Isa.Config.n
+        | Error msg -> Printf.printf "# certification: FAILED — %s\n" msg);
+        if findings = [] then Printf.printf "# findings: none\n"
+        else begin
+          Printf.printf "# findings: %s\n" (Analysis.Lint.summary findings);
+          print_findings file lines findings
+        end;
+        if removed = [] then
+          Printf.printf "# dce: nothing to remove (%d passes)\n"
+            d.Analysis.Dce.passes
+        else begin
+          Printf.printf "# dce: removed %d instruction(s) in %d passes: %s\n"
+            (List.length removed) d.Analysis.Dce.passes
+            (String.concat ", "
+               (List.map
+                  (fun r ->
+                    Printf.sprintf "%d[%s]" r.Analysis.Dce.index
+                      (Analysis.Lint.rule_id r.Analysis.Dce.rule))
+                  removed));
+          Printf.printf "# dce: %d instructions remain, re-certification %s\n"
+            (Array.length d.Analysis.Dce.optimized)
+            (if d.Analysis.Dce.refused then "REFUSED THE REWRITE"
+             else if d.Analysis.Dce.certified then "OK"
+             else "n/a (input does not sort)");
+          print_endline (Isa.Program.to_string cfg d.Analysis.Dce.optimized)
+        end
+      end;
+      `Ok ()
+
+let files_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"KERNEL.txt"
+        ~doc:"Kernel files in Isa.Program.to_string form ('mov s1 r1' …).")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"KERNEL.txt"
+        ~doc:"Kernel file in Isa.Program.to_string form.")
+
+let opt_n =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N"
+        ~doc:
+          "Value registers (default: inferred from the highest register the \
+           kernel names).")
+
+let opt_m =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scratch"; "m" ] ~docv:"M"
+        ~doc:"Scratch registers (default: inferred, see $(b,--n)).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static analyzer over kernel files: dataflow lints (dead \
+          writes, unconsumed cmps, orphan cmovs, uninitialized scratch \
+          reads, trailing code) plus the permutation-set abstract \
+          interpreter (semantic no-ops, sortedness certification). Exits 1 \
+          on any ERROR finding.")
+    Term.(ret (const run_lint $ files_arg $ opt_n $ opt_m $ json_flag))
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Full static-analysis report for one kernel: per-instruction \
+          dataflow facts, reachable-assignment counts per program point, \
+          the abstract correctness certificate, lint findings, and the \
+          proof-carrying DCE result (with the shrunk kernel when anything \
+          was removable).")
+    Term.(ret (const run_analyze $ file_arg $ opt_n $ opt_m $ json_flag))
+
+(* ------------------------------------------------------------------ *)
 (* registry list | verify | gc                                         *)
 
 let registry_list cache_dir =
@@ -365,9 +678,10 @@ let registry_list cache_dir =
     hashes;
   `Ok ()
 
-let registry_verify cache_dir =
+let registry_verify cache_dir lint stats_json =
   let root = resolve_root cache_dir in
-  let checked = Registry.Store.verify_all ~root () in
+  let counters = Registry.Store.fresh_counters () in
+  let checked = Registry.Store.verify_all ~counters ~lint ~root () in
   let bad = ref 0 in
   List.iter
     (fun (h, r) ->
@@ -377,7 +691,28 @@ let registry_verify cache_dir =
           incr bad;
           Printf.printf "%s  QUARANTINED: %s\n" (String.sub h 0 12) msg)
     checked;
-  Printf.printf "# %d ok, %d quarantined\n" (List.length checked - !bad) !bad;
+  Printf.printf "# %d ok, %d quarantined (%d by the static analyzer)\n"
+    (List.length checked - !bad)
+    !bad counters.Registry.Store.lint_errors;
+  (match stats_json with
+  | None -> ()
+  | Some path ->
+      let counters_value =
+        match Registry.Json.parse (Registry.Store.counters_json counters) with
+        | Ok v -> v
+        | Error _ -> Registry.Json.Null
+      in
+      write_json path
+        (Registry.Json.to_string
+           (Registry.Json.Obj
+              [
+                ("label", Registry.Json.Str "registry verify");
+                ("root", Registry.Json.Str root);
+                ("lint", Registry.Json.Bool lint);
+                ("checked", Registry.Json.Int (List.length checked));
+                ("ok", Registry.Json.Int (List.length checked - !bad));
+                ("registry", counters_value);
+              ])));
   if !bad > 0 then exit 1;
   `Ok ()
 
@@ -391,13 +726,28 @@ let registry_cmd =
   let simple name doc f =
     Cmd.v (Cmd.info name ~doc) Term.(ret (const f $ cache_dir))
   in
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Also run the static analyzer over every entry that certifies; \
+             quarantine entries with ERROR-level findings (a provably \
+             removable instruction in a supposedly optimal kernel).")
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-certify every entry; quarantine and report failures (exit 1 \
+            if any). With $(b,--lint), entries must also be lint-clean.")
+      Term.(ret (const registry_verify $ cache_dir $ lint_flag $ stats_json))
+  in
   Cmd.group
     (Cmd.info "registry" ~doc:"Inspect and maintain the on-disk kernel registry.")
     [
       simple "list" "List stored entries (no verification)." registry_list;
-      simple "verify"
-        "Re-certify every entry; quarantine and report failures (exit 1 if any)."
-        registry_verify;
+      verify_cmd;
       simple "gc"
         "Re-certify every entry, then delete the quarantine area."
         registry_gc;
@@ -408,6 +758,6 @@ let registry_cmd =
 let cmd =
   Cmd.group ~default:default_term
     (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
-    [ batch_cmd; registry_cmd ]
+    [ batch_cmd; registry_cmd; lint_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval cmd)

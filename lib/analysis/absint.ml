@@ -1,0 +1,48 @@
+(* Exact permutation-set abstract interpretation: the abstract state is the
+   set of reachable Assign codes, the transfer function is the image under
+   Assign.apply. n <= 6 bounds every set by 6! = 720 immediate ints, so
+   sort_uniq per step is cheap. *)
+
+let initial cfg =
+  Perms.all cfg.Isa.Config.n
+  |> List.map (Machine.Assign.of_permutation cfg)
+  |> List.sort_uniq compare |> Array.of_list
+
+let image cfg instr set =
+  Array.to_list set
+  |> List.map (Machine.Assign.apply cfg instr)
+  |> List.sort_uniq compare |> Array.of_list
+
+let reachable cfg p =
+  let len = Array.length p in
+  let sets = Array.make (len + 1) [||] in
+  sets.(0) <- initial cfg;
+  for i = 0 to len - 1 do
+    sets.(i + 1) <- image cfg p.(i) sets.(i)
+  done;
+  sets
+
+let set_sizes cfg p = Array.map Array.length (reachable cfg p)
+
+let certify cfg p =
+  let final = (reachable cfg p).(Array.length p) in
+  let unsorted =
+    Array.to_list final
+    |> List.filter (fun c -> not (Machine.Assign.is_sorted cfg c))
+  in
+  match unsorted with
+  | [] -> Ok ()
+  | c :: _ ->
+      Error
+        (Printf.sprintf
+           "abstract certification failed: %d of %d reachable final \
+            assignments are unsorted, e.g. %s"
+           (List.length unsorted) (Array.length final)
+           (Format.asprintf "%a" (Machine.Assign.pp cfg) c))
+
+let semantic_noops cfg p =
+  let sets = reachable cfg p in
+  let noop i =
+    Array.for_all (fun c -> Machine.Assign.apply cfg p.(i) c = c) sets.(i)
+  in
+  List.filter noop (List.init (Array.length p) Fun.id)

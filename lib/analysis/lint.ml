@@ -1,0 +1,207 @@
+type severity = Error | Warning
+
+type rule =
+  | Dead_write
+  | Dead_cmp
+  | Orphan_cmov
+  | Uninit_scratch_read
+  | Trailing_code
+  | Semantic_noop
+  | Not_sorting
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  index : int option;
+  message : string;
+}
+
+let rule_id = function
+  | Dead_write -> "dead-write"
+  | Dead_cmp -> "dead-cmp"
+  | Orphan_cmov -> "orphan-cmov"
+  | Uninit_scratch_read -> "uninit-scratch-read"
+  | Trailing_code -> "trailing-code"
+  | Semantic_noop -> "semantic-noop"
+  | Not_sorting -> "not-sorting"
+
+let severity_of_rule = function
+  | Uninit_scratch_read -> Warning
+  | Dead_write | Dead_cmp | Orphan_cmov | Trailing_code | Semantic_noop
+  | Not_sorting ->
+      Error
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let finding rule index message =
+  { rule; severity = severity_of_rule rule; index; message }
+
+(* Findings sort by anchor: whole-program findings first, then by
+   instruction index, warnings after errors at the same index. *)
+let sort fs =
+  List.stable_sort
+    (fun a b ->
+      match compare a.index b.index with
+      | 0 -> compare a.severity b.severity
+      | c -> c)
+    fs
+
+let check cfg p =
+  let df = Dataflow.analyze cfg p in
+  let len = Array.length p in
+  let fs = ref [] in
+  let add rule i message = fs := finding rule (Some i) message :: !fs in
+  for i = 0 to len - 1 do
+    let x = p.(i) in
+    let str = Isa.Instr.to_string cfg x in
+    let open Isa.Instr in
+    (match writes x with
+    | Some d when not (Dataflow.reg_live_after df i d) ->
+        add Dead_write i
+          (Printf.sprintf
+             "'%s' writes %s, which is never read before being overwritten \
+              or falling off the end"
+             str (Isa.Config.reg_name cfg d))
+    | _ -> ());
+    (match x.op with
+    | Cmp when not (Dataflow.lt_live_after df i || Dataflow.gt_live_after df i)
+      ->
+        add Dead_cmp i
+          (Printf.sprintf
+             "'%s' sets flags that are never consumed before being clobbered \
+              or falling off the end"
+             str)
+    | (Cmovl | Cmovg) when Dataflow.reaching_cmp df i = None ->
+        add Orphan_cmov i
+          (Printf.sprintf
+             "'%s' has no reaching cmp: the flags still hold their initial \
+              cleared state, so the move can never fire"
+             str)
+    | _ -> ());
+    List.iter
+      (fun r ->
+        if
+          (not (Isa.Config.is_value_reg cfg r))
+          && not (Dataflow.reg_written_before df i r)
+        then
+          add Uninit_scratch_read i
+            (Printf.sprintf "'%s' reads %s, which was never written: its \
+                             value is the constant 0" str
+               (Isa.Config.reg_name cfg r)))
+      (reads x)
+  done;
+  let rec suffix_start k =
+    if k > 0 && not (Dataflow.is_effective df (k - 1)) then suffix_start (k - 1)
+    else k
+  in
+  let s = suffix_start len in
+  if s < len then
+    fs :=
+      finding Trailing_code (Some s)
+        (Printf.sprintf
+           "the last %d instruction(s) cannot affect the value registers"
+           (len - s))
+      :: !fs;
+  sort (List.rev !fs)
+
+let check_all cfg p =
+  let base = check cfg p in
+  let error_at i =
+    List.exists (fun f -> f.severity = Error && f.index = Some i) base
+  in
+  let sem =
+    Absint.semantic_noops cfg p
+    |> List.filter (fun i -> not (error_at i))
+    |> List.map (fun i ->
+           finding Semantic_noop (Some i)
+             (Printf.sprintf
+                "'%s' changes no reachable assignment across all inputs: a \
+                 guaranteed no-op"
+                (Isa.Instr.to_string cfg p.(i))))
+  in
+  let cert =
+    match Absint.certify cfg p with
+    | Ok () -> []
+    | Error m -> [ finding Not_sorting None m ]
+  in
+  sort (base @ sem @ cert)
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let summary fs =
+  let e = List.length (errors fs) in
+  let w = List.length fs - e in
+  Printf.sprintf "%d finding%s (%d error%s, %d warning%s)" (List.length fs)
+    (if List.length fs = 1 then "" else "s")
+    e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+
+(* ------------------------------------------------------------------ *)
+(* JSON. Same hand-rolled emitter discipline as Search.Stats: the
+   schema is flat and the library must not depend on lib/registry. *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_finding b ?line f =
+  Buffer.add_string b "{\"rule\":";
+  escape b (rule_id f.rule);
+  Buffer.add_string b ",\"severity\":";
+  escape b (severity_to_string f.severity);
+  Buffer.add_string b ",\"index\":";
+  Buffer.add_string b
+    (match f.index with Some i -> string_of_int i | None -> "null");
+  Buffer.add_string b ",\"line\":";
+  Buffer.add_string b
+    (match line with Some l -> string_of_int l | None -> "null");
+  Buffer.add_string b ",\"message\":";
+  escape b f.message;
+  Buffer.add_char b '}'
+
+let to_json ?line f =
+  let b = Buffer.create 128 in
+  add_finding b ?line f;
+  Buffer.contents b
+
+let report_json ?file ?lines fs =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  (match file with
+  | Some f ->
+      Buffer.add_string b "\"file\":";
+      escape b f;
+      Buffer.add_char b ','
+  | None -> ());
+  Buffer.add_string b "\"findings\":[";
+  List.iteri
+    (fun k f ->
+      if k > 0 then Buffer.add_char b ',';
+      let line =
+        match (f.index, lines) with
+        | Some i, Some ls when i < Array.length ls -> Some ls.(i)
+        | _ -> None
+      in
+      add_finding b ?line f)
+    fs;
+  Buffer.add_string b "],\"errors\":";
+  Buffer.add_string b (string_of_int (List.length (errors fs)));
+  Buffer.add_string b ",\"warnings\":";
+  Buffer.add_string b
+    (string_of_int (List.length fs - List.length (errors fs)));
+  Buffer.add_char b '}';
+  Buffer.contents b

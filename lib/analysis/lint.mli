@@ -1,0 +1,74 @@
+(** Lint engine: typed findings over the dataflow and abstract analyses.
+
+    Severities: an [Error] finding is a proof that the kernel is defective —
+    either an instruction is provably removable (the kernel is not minimal)
+    or the kernel does not sort. A [Warning] flags legal-but-suspicious
+    code (reading the constant 0 from a never-written scratch register). *)
+
+type severity = Error | Warning
+
+type rule =
+  | Dead_write
+      (** A (conditional) move whose destination is never read afterwards
+          before being unconditionally overwritten or ignored at exit. *)
+  | Dead_cmp
+      (** A [cmp] whose flags are never consumed before the next [cmp]
+          clobbers them or the program ends. *)
+  | Orphan_cmov
+      (** A conditional move with no reaching [cmp]: both flags still hold
+          their initial cleared state, so the move can never fire. *)
+  | Uninit_scratch_read
+      (** A read of a scratch register that no earlier instruction wrote:
+          the value is the constant 0 (below every input value). *)
+  | Trailing_code
+      (** A maximal trailing run of instructions none of which can affect
+          the value registers at exit. *)
+  | Semantic_noop
+      (** The abstract interpreter proved the instruction changes no
+          reachable assignment ({!Absint.semantic_noops}). *)
+  | Not_sorting
+      (** The abstract certifier rejected the program: some reachable final
+          assignment is unsorted ({!Absint.certify}). *)
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  index : int option;
+      (** Instruction index (0-based) the finding is anchored to; [None]
+          for whole-program findings ([Not_sorting]). *)
+  message : string;
+}
+
+val rule_id : rule -> string
+(** Stable kebab-case identifier, e.g. ["dead-write"]. *)
+
+val severity_to_string : severity -> string
+
+val check : Isa.Config.t -> Isa.Program.t -> finding list
+(** Dataflow-only lints ({!Dead_write}, {!Dead_cmp}, {!Orphan_cmov},
+    {!Uninit_scratch_read}, {!Trailing_code}), sorted by instruction
+    index. Purely syntactic — never executes the program. *)
+
+val check_all : Isa.Config.t -> Isa.Program.t -> finding list
+(** {!check} plus the semantic lints from the abstract interpreter:
+    {!Semantic_noop} findings (on instructions not already carrying an
+    [Error]) and a {!Not_sorting} finding when certification fails. This is
+    the full analyzer the registry and CLI run. *)
+
+val errors : finding list -> finding list
+(** The [Error]-severity subset. *)
+
+val summary : finding list -> string
+(** One-line human summary, e.g. ["3 findings (2 errors, 1 warning)"]. *)
+
+val to_json : ?line:int -> finding -> string
+(** One finding as a JSON object:
+    [{"rule":…,"severity":…,"index":…,"line":…,"message":…}]. [index] and
+    [line] are [null] when absent. The output passes
+    {!Search.Stats.validate_json}. *)
+
+val report_json : ?file:string -> ?lines:int array -> finding list -> string
+(** A JSON report [{"file":…,"findings":[…],"errors":N,"warnings":N}].
+    [lines] maps instruction indices to 1-based source lines (as returned
+    by {!Isa.Program.of_string_numbered}) so findings and parse
+    diagnostics share coordinates. *)

@@ -9,20 +9,21 @@ let to_string cfg p =
 let to_x86 cfg p =
   Array.to_list p |> List.map (Instr.to_x86 cfg) |> String.concat "\n"
 
-let of_string cfg s =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  in
-  let rec go acc = function
+let of_string_numbered cfg s =
+  let rec go acc lineno = function
     | [] -> Ok (Array.of_list (List.rev acc))
     | l :: rest -> (
-        match Instr.of_string cfg l with
-        | Ok i -> go (i :: acc) rest
-        | Error e -> Error e)
+        let l = String.trim l in
+        if l = "" || l.[0] = '#' then go acc (lineno + 1) rest
+        else
+          match Instr.of_string cfg l with
+          | Ok i -> go ((i, lineno) :: acc) (lineno + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] lines
+  go [] 1 (String.split_on_char '\n' s)
+
+let of_string cfg s =
+  Result.map (Array.map fst) (of_string_numbered cfg s)
 
 let opcode_signature p =
   String.init (Array.length p) (fun i -> Instr.opcode_letter p.(i).Instr.op)

@@ -12,7 +12,15 @@ val to_x86 : Config.t -> t -> string
 (** One instruction per line, x86-64 Intel syntax. *)
 
 val of_string : Config.t -> string -> (t, string) result
-(** Parse the {!to_string} form. Blank lines and [#]-comments are ignored. *)
+(** Parse the {!to_string} form. Blank lines and [#]-comments are ignored.
+    Errors are prefixed with the offending 1-based line number
+    (["line 3: unknown opcode in …"]). *)
+
+val of_string_numbered : Config.t -> string -> ((Instr.t * int) array, string) result
+(** Like {!of_string}, but pairs every instruction with the 1-based source
+    line it was parsed from, so lint findings and parse diagnostics point at
+    the same coordinates. Blank and comment lines still count toward line
+    numbers. *)
 
 val opcode_signature : t -> string
 (** The command combination of a program: one {!Instr.opcode_letter} per

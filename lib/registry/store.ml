@@ -3,9 +3,11 @@ type counters = {
   mutable misses : int;
   mutable quarantined : int;
   mutable inserted : int;
+  mutable lint_errors : int;
 }
 
-let fresh_counters () = { hits = 0; misses = 0; quarantined = 0; inserted = 0 }
+let fresh_counters () =
+  { hits = 0; misses = 0; quarantined = 0; inserted = 0; lint_errors = 0 }
 
 let counters_json c =
   Json.to_string
@@ -15,6 +17,7 @@ let counters_json c =
          ("misses", Json.Int c.misses);
          ("quarantined", Json.Int c.quarantined);
          ("inserted", Json.Int c.inserted);
+         ("lint_errors", Json.Int c.lint_errors);
        ])
 
 type entry = {
@@ -257,10 +260,46 @@ let list_hashes ~root =
     |> List.filter (fun h -> not (String.starts_with ~prefix:"." h))
     |> List.sort compare
 
-let verify_all ?counters ~root () =
+(* The static analyzer's verdict on one entry: [Ok] when lint-clean,
+   [Error reason] when any ERROR-severity finding fires. A stored kernel is
+   always optimal-by-construction, so an ERROR finding (a provably removable
+   instruction, or worse) means the entry was tampered with. *)
+let lint_entry (e : entry) =
+  let cfg = Key.config e.key in
+  match Analysis.Lint.errors (Analysis.Lint.check_all cfg e.program) with
+  | [] -> Ok ()
+  | errs ->
+      Error
+        (Printf.sprintf "static analyzer: %s: %s"
+           (Analysis.Lint.summary errs)
+           (String.concat "; "
+              (List.map
+                 (fun f ->
+                   Printf.sprintf "[%s%s] %s"
+                     (Analysis.Lint.rule_id f.Analysis.Lint.rule)
+                     (match f.Analysis.Lint.index with
+                     | Some i -> Printf.sprintf " @%d" i
+                     | None -> "")
+                     f.Analysis.Lint.message)
+                 errs)))
+
+let verify_all ?counters ?(lint = false) ~root () =
   List.map
     (fun hash ->
-      match certified ~root hash with
+      let vetted =
+        match certified ~root hash with
+        | Error _ as e -> e
+        | Ok e when not lint -> Ok e
+        | Ok e -> (
+            match lint_entry e with
+            | Ok () -> Ok e
+            | Error reason ->
+                Option.iter
+                  (fun c -> c.lint_errors <- c.lint_errors + 1)
+                  counters;
+                Error reason)
+      in
+      match vetted with
       | Ok e -> (hash, Ok e)
       | Error reason ->
           quarantine ~root ~hash ~reason;

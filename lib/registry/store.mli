@@ -19,6 +19,10 @@ type counters = {
   mutable misses : int;
   mutable quarantined : int;
   mutable inserted : int;
+  mutable lint_errors : int;
+      (** Entries that certified but carried ERROR-level static-analysis
+          findings during a [~lint:true] {!verify_all} sweep (a subset of
+          [quarantined]). *)
 }
 (** Mutable tallies for one serving session. [hits], [misses], and
     [quarantined] are disjoint per lookup. *)
@@ -66,9 +70,17 @@ val load_unverified : root:string -> string -> (entry, string) result
     [registry list] style inspection only; never serve from this. *)
 
 val verify_all :
-  ?counters:counters -> root:string -> unit -> (string * (entry, string) result) list
+  ?counters:counters ->
+  ?lint:bool ->
+  root:string ->
+  unit ->
+  (string * (entry, string) result) list
 (** Re-certify every entry (sorted by hash). Failing entries are
-    quarantined, exactly as a serving lookup would. *)
+    quarantined, exactly as a serving lookup would. With [~lint:true],
+    entries that certify are additionally vetted by the static analyzer
+    ({!Analysis.Lint.check_all}): any ERROR-severity finding — a provably
+    removable instruction in a kernel that is supposed to be optimal —
+    quarantines the entry too, with the findings as the recorded reason. *)
 
 val quarantine_count : root:string -> int
 

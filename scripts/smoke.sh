@@ -44,8 +44,26 @@ dune exec bin/synth.exe -- batch "$jobs" -j 2 --cache-dir "$reg" > /dev/null
 dune exec bin/synth.exe -- batch "$jobs" -j 2 --cache-dir "$reg" \
   | grep -q "# registry: 4 hits, 0 misses" \
   || { echo "repeated batch was not fully served from the registry" >&2; exit 1; }
-dune exec bin/synth.exe -- registry verify --cache-dir "$reg" > /dev/null \
-  || { echo "registry verify failed" >&2; exit 1; }
+dune exec bin/synth.exe -- registry verify --lint --cache-dir "$reg" > /dev/null \
+  || { echo "registry verify --lint failed" >&2; exit 1; }
 rm -rf "$reg" "$jobs"
+
+echo "== static analyzer lint gate =="
+# Every shipped example kernel must be lint-clean (exit 0, zero findings).
+dune exec bin/synth.exe -- lint examples/kernels/*.txt \
+  || { echo "example kernels are not lint-clean" >&2; exit 1; }
+# A deliberately padded kernel must trip the gate (exit 1) ...
+padded="${TMPDIR:-/tmp}/sortsynth-padded-smoke.txt"
+{ cat examples/kernels/sort3.txt; printf 'mov s1 r1\ncmp r1 r2\n'; } > "$padded"
+if dune exec bin/synth.exe -- lint "$padded" > /dev/null 2>&1; then
+  echo "lint accepted a padded kernel" >&2; exit 1
+fi
+# ... and the proof-carrying DCE must strip the padding and re-certify.
+analysis="$(dune exec bin/synth.exe -- analyze "$padded" --json)"
+echo "$analysis" | grep -q '"removed":2' \
+  || { echo "DCE did not remove the 2 padding instructions" >&2; exit 1; }
+echo "$analysis" | grep -q '"certified":true' \
+  || { echo "DCE output did not re-certify" >&2; exit 1; }
+rm -f "$padded"
 
 echo "smoke ok: $out"

@@ -77,6 +77,24 @@ let test_program_parse_comments () =
   | Ok p -> check Alcotest.int "two instrs" 2 (Isa.Program.length p)
   | Error e -> Alcotest.fail e
 
+let test_program_parse_error_lines () =
+  (* Parse diagnostics carry 1-based line numbers, counting blank and
+     comment lines so they match the source file. *)
+  (match Isa.Program.of_string cfg3 "mov s1 r1\nbogus r1 r2\n" with
+  | Error e ->
+      check Alcotest.bool "line 2" true (String.starts_with ~prefix:"line 2:" e)
+  | Ok _ -> Alcotest.fail "accepted unknown opcode");
+  (match Isa.Program.of_string cfg3 "# header\n\nmov s1 r1\nmov r9 r1\n" with
+  | Error e ->
+      check Alcotest.bool "comments count" true
+        (String.starts_with ~prefix:"line 4:" e)
+  | Ok _ -> Alcotest.fail "accepted out-of-range register");
+  match Isa.Program.of_string_numbered cfg3 "# header\n\nmov s1 r1\n  cmp r1 r2\n" with
+  | Ok numbered ->
+      check (Alcotest.list Alcotest.int) "instruction source lines" [ 3; 4 ]
+        (Array.to_list (Array.map snd numbered))
+  | Error e -> Alcotest.fail e
+
 let test_opcode_signature () =
   let p = [| Isa.Instr.mov 3 0; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 0 1; Isa.Instr.cmovl 1 3 |] in
   check Alcotest.string "signature" "mcgl" (Isa.Program.opcode_signature p)
@@ -172,6 +190,8 @@ let () =
           Alcotest.test_case "roundtrip all configs" `Quick
             test_program_roundtrip_all_configs;
           Alcotest.test_case "comments" `Quick test_program_parse_comments;
+          Alcotest.test_case "parse error line numbers" `Quick
+            test_program_parse_error_lines;
           Alcotest.test_case "opcode signature" `Quick test_opcode_signature;
           Alcotest.test_case "counts and score" `Quick
             test_opcode_counts_and_score;

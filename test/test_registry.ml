@@ -178,6 +178,64 @@ let test_store_quarantine () =
   check Alcotest.int "two quarantined dirs" 2
     (Registry.Store.quarantine_count ~root)
 
+let test_store_lint_quarantine () =
+  let root = fresh_root () in
+  (match Registry.Store.insert ~root key2 (synth_result key2) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* A padded-but-correct kernel: still sorts both permutations, so plain
+     certification passes — only the static analyzer can object to the
+     provably dead trailing mov. Patch meta.json's length so the length
+     cross-check passes too. *)
+  corrupt_kernel ~root key2
+    "mov s1 r1\ncmp r1 r2\ncmovg r1 r2\ncmovg r2 s1\nmov s1 r1\n";
+  let meta_path =
+    Filename.concat (Registry.Store.entry_dir ~root key2) "meta.json"
+  in
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (match Registry.Json.parse (read_all meta_path) with
+  | Ok (Registry.Json.Obj fields) ->
+      let fields =
+        List.map
+          (function
+            | "length", _ -> ("length", Registry.Json.Int 5)
+            | kv -> kv)
+          fields
+      in
+      let oc = open_out_bin meta_path in
+      output_string oc (Registry.Json.to_string (Registry.Json.Obj fields));
+      close_out oc
+  | _ -> Alcotest.fail "meta.json unreadable");
+  (* Without lint the tampered entry still certifies and is served. *)
+  (match Registry.Store.verify_all ~root () with
+  | [ (_, Ok e) ] -> check Alcotest.int "padded length" 5 e.Registry.Store.length
+  | _ -> Alcotest.fail "expected one certified entry");
+  (* The lint sweep quarantines it and says why. *)
+  let counters = Registry.Store.fresh_counters () in
+  (match Registry.Store.verify_all ~counters ~lint:true ~root () with
+  | [ (_, Error reason) ] ->
+      let contains sub =
+        let n = String.length reason and k = String.length sub in
+        let rec go i = i + k <= n && (String.sub reason i k = sub || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "reason names the analyzer" true
+        (contains "static analyzer");
+      check Alcotest.bool "reason names the rule" true (contains "dead-write")
+  | _ -> Alcotest.fail "lint sweep should quarantine the padded entry");
+  check Alcotest.int "lint_errors counter" 1
+    counters.Registry.Store.lint_errors;
+  check Alcotest.int "quarantined counter" 1
+    counters.Registry.Store.quarantined;
+  check Alcotest.int "quarantine dir" 1 (Registry.Store.quarantine_count ~root);
+  (* Quarantined means gone: the key misses and can be re-synthesized. *)
+  assert (Registry.Store.lookup ~root key2 = Registry.Store.Miss)
+
 let test_store_verify_gc () =
   let root = fresh_root () in
   List.iter
@@ -306,6 +364,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
           Alcotest.test_case "quarantine" `Quick test_store_quarantine;
+          Alcotest.test_case "lint quarantine" `Quick test_store_lint_quarantine;
           Alcotest.test_case "verify + gc" `Quick test_store_verify_gc;
         ] );
       ( "scheduler",
