@@ -15,9 +15,54 @@
      synth registry list|verify|gc    inspect / re-certify / sweep the store
      synth lint kernel.txt            static lints; exit 1 on ERROR findings
      synth analyze kernel.txt         full report: dataflow, abstract
-                                      certification, proof-carrying DCE *)
+                                      certification, proof-carrying DCE
+
+   Exit codes:
+     0  success
+     1  lint / verification / synthesis failure (or mixed batch failures)
+     2  the search deadline passed (every retry timed out)
+     3  the live-state budget was exhausted even at the final
+        degradation rung
+     4  registry corruption: a verify sweep found entries that had to be
+        quarantined *)
 
 open Cmdliner
+
+let exit_timeout = 2
+let exit_exhausted = 3
+let exit_corrupt = 4
+
+let exits =
+  Cmd.Exit.info ~doc:"on lint, verification, or synthesis failure." 1
+  :: Cmd.Exit.info ~doc:"when the search deadline passed (every retry timed out)."
+       exit_timeout
+  :: Cmd.Exit.info
+       ~doc:
+         "when the live-state budget was exhausted even at the final \
+          degradation-ladder rung."
+       exit_exhausted
+  :: Cmd.Exit.info
+       ~doc:"on registry corruption (a verify sweep quarantined entries)."
+       exit_corrupt
+  :: Cmd.Exit.defaults
+
+(* [--fault-plan] accepts the same forms as $SORTSYNTH_FAULT_PLAN: an
+   inline spec when it contains '=' (specs always do — at least [seed=] or
+   a [site=trigger] clause), a plan-file path otherwise. *)
+let setup_faults spec =
+  let r =
+    match spec with
+    | None -> Fault.setup ()
+    | Some s ->
+        Result.map Fault.install
+          (if String.contains s '=' then Fault.plan_of_string s
+           else Fault.load_file s)
+  in
+  match r with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "synth: fault plan: %s\n" msg;
+      exit 1
 
 let write_json path json =
   let json = json ^ "\n" in
@@ -62,7 +107,9 @@ let zero_stats =
 (* Default command: synthesize one kernel.                             *)
 
 let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
-    scratch cache cache_dir stats_json =
+    scratch cache cache_dir stats_json fault_plan timeout budget =
+  setup_faults fault_plan;
+  let deadline = Option.map (fun t -> Fault.Clock.now () +. t) timeout in
   let cfg = Isa.Config.make ~n ~m:scratch in
   if pddl then begin
     print_string (Planning.Pddl.domain cfg);
@@ -107,6 +154,7 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
        verdict rides along in the stats snapshot and any ERROR finding —
        impossible for a synthesized-optimal kernel — is shouted. *)
     let analysis_note = ref None in
+    let degraded_note = ref None in
     let note_analysis p =
       let fs = Analysis.Lint.check_all cfg p in
       let errs = List.length (Analysis.Lint.errors fs) in
@@ -128,6 +176,9 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
         @ (match !analysis_note with
           | Some j -> [ ("analysis", j) ]
           | None -> [])
+        @ (match !degraded_note with
+          | Some j -> [ ("degraded", j) ]
+          | None -> [])
       with
       | [] -> None
       | l -> Some l
@@ -138,13 +189,23 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
       | Some path -> write_json path (Search.Stats.to_json ~label ?extra:(extra ()) stats)
     in
     let hit =
-      if cacheable then
+      if cacheable then begin
+        (* Crash recovery before the first lookup: a predecessor that died
+           mid-insert leaves a torn temp dir or a half-written entry. *)
+        let rcv = Registry.Store.recover ~counters ~root () in
+        if rcv.Registry.Store.rolled_back > 0 || rcv.Registry.Store.requarantined > 0
+        then
+          Printf.eprintf
+            "synth: registry: recovered: %d torn insert(s) rolled back, %d \
+             entries re-quarantined\n"
+            rcv.Registry.Store.rolled_back rcv.Registry.Store.requarantined;
         match Registry.Store.lookup ~counters ~root key with
         | Registry.Store.Hit e -> Some e
         | Registry.Store.Quarantined reason ->
             Printf.eprintf "synth: registry: quarantined bad entry: %s\n" reason;
             None
         | Registry.Store.Miss -> None
+      end
       else None
     in
     match hit with
@@ -158,7 +219,32 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
         dump_stats zero_stats;
         `Ok ()
     | None ->
-        let r = Registry.Scheduler.run_key ~domains:jobs ~mode key in
+        let outcome =
+          match
+            Registry.Scheduler.run_key ?deadline ~domains:jobs ~mode ?budget key
+          with
+          | o -> o
+          | exception Search.Timeout ->
+              Printf.eprintf "synth: search timed out%s\n"
+                (match timeout with
+                | Some t -> Printf.sprintf " (deadline %.3f s)" t
+                | None -> "");
+              exit exit_timeout
+          | exception Search.Resource_exhausted { live; budget } ->
+              Printf.eprintf
+                "synth: state budget exhausted: %d live states over budget %d \
+                 (even at the final degradation rung)\n"
+                live budget;
+              exit exit_exhausted
+        in
+        let r = outcome.Registry.Scheduler.result in
+        let degraded = outcome.Registry.Scheduler.degraded in
+        degraded_note := Some (if degraded then "true" else "false");
+        if degraded then
+          Printf.eprintf
+            "synth: degraded result (ladder rung %d): the kernel is verified \
+             correct but not guaranteed shortest; it will not be cached\n"
+            outcome.Registry.Scheduler.rung;
         (match mode with
         | Search.Prove_none l ->
             Printf.printf
@@ -178,7 +264,9 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
                 print_endline
                   (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
                 if cacheable then
-                  match Registry.Store.insert ~counters ~root key r with
+                  match
+                    Registry.Store.insert ~counters ~degraded ~root key r
+                  with
                   | Ok _ ->
                       Printf.printf "# registry store %s\n" (Registry.Key.hash key)
                   | Error msg ->
@@ -270,17 +358,52 @@ let stats_json =
            (counters, timeline, per-level open/pruned breakdown) to $(docv), \
            or to stdout when $(docv) is '-'.")
 
+let fault_plan =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~env:(Cmd.Env.info "SORTSYNTH_FAULT_PLAN")
+        ~doc:
+          "Deterministic fault-injection plan (testing only): a plan file, \
+           or an inline spec like 'seed=42;registry.rename=nth:1'. Makes \
+           the named chokepoints — registry writes, renames, fsyncs, \
+           scheduler worker crashes, search budgets and deadlines — fail \
+           on cue, deterministically in the seed.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-attempt search deadline on the monotonic clock; exit code 2 \
+           when it passes.")
+
+let state_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "state-budget" ] ~docv:"STATES"
+        ~doc:
+          "Cap on live search states. Exceeding it triggers the \
+           degradation ladder (progressively aggressive \
+           non-optimality-preserving cuts, results flagged degraded and \
+           never cached); exhaustion at the final rung exits with code 3.")
+
 let default_term =
   Term.(
     ret
       (const run $ n $ minmax $ engine $ jobs $ all $ cut $ heuristic $ max_len
-      $ x86 $ prove_none $ pddl $ scratch $ cache $ cache_dir $ stats_json))
+      $ x86 $ prove_none $ pddl $ scratch $ cache $ cache_dir $ stats_json
+      $ fault_plan $ timeout_arg $ state_budget))
 
 (* ------------------------------------------------------------------ *)
 (* batch: run a JSON job list through the registry + scheduler.        *)
 
-let run_batch jobs_file workers timeout retries no_cache cache_dir x86
-    stats_json =
+let run_batch jobs_file workers timeout retries backoff budget no_cache
+    cache_dir x86 stats_json fault_plan =
+  setup_faults fault_plan;
   let src =
     match open_in_bin jobs_file with
     | ic ->
@@ -294,22 +417,37 @@ let run_batch jobs_file workers timeout retries no_cache cache_dir x86
   | Ok keys ->
       let root = if no_cache then None else Some (resolve_root cache_dir) in
       let b =
-        Registry.Scheduler.run_batch ?root ~workers ?timeout ~retries keys
+        Registry.Scheduler.run_batch ?root ~workers ?timeout ~retries ~backoff
+          ?budget keys
       in
-      let failures = ref 0 in
+      let timeouts = ref 0 and exhausted = ref 0 and other = ref 0 in
       List.iteri
         (fun i r ->
           let open Registry.Scheduler in
           let tag, note =
             match r.status with
             | Cached -> ("cached", "")
+            | Synthesized when r.degraded ->
+                ( Printf.sprintf "synthesized DEGRADED (rung %d)" r.rung,
+                  Printf.sprintf " in %.3f s — correct but not guaranteed \
+                                  shortest; not cached"
+                    r.elapsed )
             | Synthesized ->
                 ("synthesized", Printf.sprintf " in %.3f s" r.elapsed)
             | Timed_out ->
-                incr failures;
+                incr timeouts;
                 ("TIMED OUT", Printf.sprintf " after %d attempts" r.attempts)
+            | Exhausted { live; budget } ->
+                incr exhausted;
+                ( "EXHAUSTED",
+                  Printf.sprintf ": %d live states over budget %d after %d \
+                                  attempts"
+                    live budget r.attempts )
+            | Crashed ->
+                incr other;
+                ("CRASHED", ": worker domain died; job isolated")
             | Failed msg ->
-                incr failures;
+                incr other;
                 ("FAILED", ": " ^ msg)
           in
           Printf.printf "# job %d [%s] %s: %s%s\n" i
@@ -325,16 +463,25 @@ let run_batch jobs_file workers timeout retries no_cache cache_dir x86
         b.Registry.Scheduler.results;
       let c = b.Registry.Scheduler.counters in
       Printf.printf
-        "# registry: %d hits, %d misses, %d quarantined, %d inserted\n"
+        "# registry: %d hits, %d misses, %d quarantined, %d inserted, %d \
+         recovered\n"
         c.Registry.Store.hits c.Registry.Store.misses
-        c.Registry.Store.quarantined c.Registry.Store.inserted;
+        c.Registry.Store.quarantined c.Registry.Store.inserted
+        c.Registry.Store.recovered;
       (match stats_json with
       | Some path -> write_json path (Registry.Scheduler.batch_json b)
       | None -> ());
-      if !failures > 0 then begin
+      let failures = !timeouts + !exhausted + !other in
+      if failures > 0 then begin
         Printf.eprintf "synth batch: %d of %d jobs did not produce a kernel\n"
-          !failures (List.length keys);
-        exit 1
+          failures (List.length keys);
+        (* A homogeneous failure class keeps its dedicated exit code, so
+           scripts can tell "give it more time" (2) from "give it more
+           memory" (3); mixed or other failures collapse to 1. *)
+        exit
+          (if !other = 0 && !exhausted = 0 then exit_timeout
+           else if !other = 0 && !timeouts = 0 then exit_exhausted
+           else 1)
       end;
       `Ok ()
 
@@ -356,7 +503,18 @@ let batch_cmd =
     Arg.(
       value & opt int 1
       & info [ "retries" ] ~docv:"K"
-          ~doc:"Extra attempts after a timeout or failure (default 1).")
+          ~doc:
+            "Extra attempts after a timeout, exhaustion, or failure \
+             (default 1), with exponential backoff between attempts.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base of the exponential retry backoff: attempt k sleeps \
+             $(docv) * 2^(k-1) seconds (capped at 2), scaled by a \
+             deterministic per-key jitter. 0 disables the sleep.")
   in
   let no_cache =
     Arg.(
@@ -364,14 +522,18 @@ let batch_cmd =
       & info [ "no-cache" ] ~doc:"Synthesize every job; skip the registry.")
   in
   Cmd.v
-    (Cmd.info "batch"
+    (Cmd.info "batch" ~exits
        ~doc:
          "Run a list of synthesis jobs: registry hits are served verified, \
-          misses run across worker domains, results merge deterministically.")
+          misses run across worker domains, results merge deterministically. \
+          Never aborts mid-batch: a timed-out, exhausted, or crashed job is \
+          reported in place and the rest of the batch completes. When all \
+          failures are timeouts the exit code is 2; all budget exhaustions, \
+          3; anything else, 1.")
     Term.(
       ret
-        (const run_batch $ jobs_file $ jobs $ timeout $ retries $ no_cache
-        $ cache_dir $ x86 $ stats_json))
+        (const run_batch $ jobs_file $ jobs $ timeout $ retries $ backoff
+        $ state_budget $ no_cache $ cache_dir $ x86 $ stats_json $ fault_plan))
 
 (* ------------------------------------------------------------------ *)
 (* lint / analyze: the static analyzer over kernel files.              *)
@@ -681,6 +843,13 @@ let registry_list cache_dir =
 let registry_verify cache_dir lint stats_json =
   let root = resolve_root cache_dir in
   let counters = Registry.Store.fresh_counters () in
+  let rcv = Registry.Store.recover ~counters ~root () in
+  if rcv.Registry.Store.rolled_back > 0 then
+    Printf.printf "# recovered: %d torn insert(s) rolled back\n"
+      rcv.Registry.Store.rolled_back;
+  if rcv.Registry.Store.requarantined > 0 then
+    Printf.printf "# recovered: %d half-written entries re-quarantined\n"
+      rcv.Registry.Store.requarantined;
   let checked = Registry.Store.verify_all ~counters ~lint ~root () in
   let bad = ref 0 in
   List.iter
@@ -713,11 +882,17 @@ let registry_verify cache_dir lint stats_json =
                 ("ok", Registry.Json.Int (List.length checked - !bad));
                 ("registry", counters_value);
               ])));
-  if !bad > 0 then exit 1;
+  (* Any corrupted entry — found by the recovery scan or the certify
+     sweep — is the documented "registry corruption" exit code. *)
+  if !bad + rcv.Registry.Store.requarantined > 0 then exit exit_corrupt;
   `Ok ()
 
 let registry_gc cache_dir =
   let root = resolve_root cache_dir in
+  let rcv = Registry.Store.recover ~root () in
+  if rcv.Registry.Store.rolled_back > 0 then
+    Printf.printf "# recovered: %d torn insert(s) rolled back\n"
+      rcv.Registry.Store.rolled_back;
   let kept, purged = Registry.Store.gc ~root in
   Printf.printf "# %d entries kept, %d quarantined entries purged\n" kept purged;
   `Ok ()
@@ -737,10 +912,11 @@ let registry_cmd =
   in
   let verify_cmd =
     Cmd.v
-      (Cmd.info "verify"
+      (Cmd.info "verify" ~exits
          ~doc:
-           "Re-certify every entry; quarantine and report failures (exit 1 \
-            if any). With $(b,--lint), entries must also be lint-clean.")
+           "Run the crash-recovery scan, then re-certify every entry; \
+            quarantine and report failures (exit 4 if any entry was \
+            corrupted). With $(b,--lint), entries must also be lint-clean.")
       Term.(ret (const registry_verify $ cache_dir $ lint_flag $ stats_json))
   in
   Cmd.group
@@ -757,7 +933,8 @@ let registry_cmd =
 
 let cmd =
   Cmd.group ~default:default_term
-    (Cmd.info "synth" ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
+    (Cmd.info "synth" ~exits
+       ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
     [ batch_cmd; registry_cmd; lint_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval cmd)

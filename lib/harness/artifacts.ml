@@ -48,9 +48,13 @@ let write ?registry ~full dir =
         match hit with
         | Some e -> cached_header cfg e
         | None ->
-            let r = Registry.Scheduler.run_key key in
+            let o = Registry.Scheduler.run_key key in
+            let r = o.Registry.Scheduler.result in
             Option.iter
-              (fun root -> ignore (Registry.Store.insert ~root key r))
+              (fun root ->
+                ignore
+                  (Registry.Store.insert
+                     ~degraded:o.Registry.Scheduler.degraded ~root key r))
               registry;
             kernel_header cfg r
       in

@@ -1,4 +1,12 @@
-type status = Cached | Synthesized | Timed_out | Failed of string
+type status =
+  | Cached
+  | Synthesized
+  | Timed_out
+  | Exhausted of { live : int; budget : int }
+  | Crashed
+  | Failed of string
+
+type attempt = { n : int; failure : string; backoff : float }
 
 type job_result = {
   key : Key.t;
@@ -8,15 +16,79 @@ type job_result = {
   attempts : int;
   elapsed : float;
   search : Search.result option;
+  degraded : bool;
+  rung : int;
+  attempt_log : attempt list;
 }
 
 type batch = { results : job_result list; counters : Store.counters }
+type run_outcome = { result : Search.result; degraded : bool; rung : int }
 
-let run_key ?deadline ?(domains = 2) ?(mode = Search.Find_first) key =
-  let opts = Key.options key and cfg = Key.config key in
-  match key.Key.engine with
-  | Key.Parallel -> Search.run_parallel ~opts ?deadline ~domains ~mode cfg
-  | Key.Astar | Key.Level -> Search.run_mode ~opts ?deadline ~mode cfg
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder.                                                 *)
+
+let max_rung = 3
+
+(* Rung [r] of the ladder: the option set to retry with after the search
+   raised [Resource_exhausted] under rung [r - 1]. Each rung cuts the
+   live-state set harder than the last; every rung above 0 abandons the
+   optimality (and completeness) guarantees of the base configuration, so
+   its results are flagged degraded and never stored. *)
+let degrade_opts (base : Search.options) = function
+  | 0 -> base
+  | 1 ->
+      let cut =
+        match base.Search.cut with
+        | Search.No_cut -> Search.Mult 2.0
+        | Search.Mult k when k > 2.0 -> Search.Mult 2.0
+        | Search.Mult k -> Search.Mult (Float.max 1.0 (k /. 2.))
+        | Search.Add d when d > 2 -> Search.Add 2
+        | Search.Add d -> Search.Add (max 1 (d / 2))
+      in
+      { base with Search.cut }
+  | 2 -> { base with Search.cut = Search.Mult 1.0 }
+  | _ ->
+      {
+        base with
+        Search.cut = Search.Mult 1.0;
+        action_filter = Search.Optimal_guided;
+        heuristic = Search.Perm_count;
+      }
+
+let run_key ?deadline ?(domains = 2) ?(mode = Search.Find_first) ?budget key =
+  let base = Key.options key and cfg = Key.config key in
+  let base =
+    match budget with
+    | None -> base
+    | Some b -> { base with Search.state_budget = Some b }
+  in
+  let run opts =
+    match key.Key.engine with
+    | Key.Parallel -> Search.run_parallel ~opts ?deadline ~domains ~mode cfg
+    | Key.Astar | Key.Level -> Search.run_mode ~opts ?deadline ~mode cfg
+  in
+  (* The distinct rungs for this base configuration (adjacent rungs can
+     coincide, e.g. a [Mult 2.0] base makes rung 1 and rung 2 both
+     [Mult 1.0]); running the same options twice cannot help. *)
+  let rungs =
+    List.init (max_rung + 1) (fun r -> (r, degrade_opts base r))
+    |> List.fold_left
+         (fun acc (r, o) ->
+           match acc with (_, o') :: _ when o = o' -> acc | _ -> (r, o) :: acc)
+         []
+    |> List.rev
+  in
+  let rec go = function
+    | [] -> assert false
+    | [ (rung, opts) ] ->
+        (* Last rung: exhaustion here propagates to the caller. *)
+        { result = run opts; degraded = rung > 0; rung }
+    | (rung, opts) :: rest -> (
+        match run opts with
+        | r -> { result = r; degraded = rung > 0; rung }
+        | exception Search.Resource_exhausted _ -> go rest)
+  in
+  go rungs
 
 let ( let* ) = Result.bind
 
@@ -35,44 +107,108 @@ let parse_jobs src =
       (List.mapi (fun i job -> (i, job)) jobs)
     |> Result.map List.rev
 
+(* ------------------------------------------------------------------ *)
+(* One job.                                                            *)
+
+let failure_string = function
+  | Timed_out -> "timeout"
+  | Exhausted { live; budget } ->
+      Printf.sprintf "resource exhausted: %d live states over budget %d" live
+        budget
+  | Crashed -> "worker domain crashed"
+  | Failed msg -> msg
+  | Cached -> "cached"
+  | Synthesized -> "synthesized"
+
+(* Exponential backoff with deterministic jitter: the delay before retry
+   [attempt + 1] depends only on (key, attempt), so a batch re-run sleeps
+   the same schedule — no wall-clock or PRNG state leaks into results. *)
+let backoff_delay ~base ~key ~attempt =
+  let expo = base *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min 2.0 expo in
+  let h = Hashtbl.hash (Key.canonical key, attempt) in
+  let jitter = 0.5 +. (float_of_int (h land 0xFFFF) /. 65536.) in
+  capped *. jitter
+
 (* One job, run to completion inside a worker domain: up to
-   [1 + retries] attempts, each against its own deadline. Exceptions
-   must not escape (they would kill the domain), so everything funnels
-   into a [status]. *)
-let run_one ~timeout ~retries key =
-  let start = Unix.gettimeofday () in
+   [1 + retries] attempts, each against its own deadline, with backoff
+   between attempts. Exceptions must not escape (they would kill the
+   domain), so everything funnels into a [status]; each failed attempt
+   is recorded in the [attempt_log]. *)
+let run_one ~timeout ~retries ~backoff ~budget key =
+  let start = Fault.Clock.now () in
+  let log = ref [] in
   let rec attempt k =
-    let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+    let deadline = Option.map (fun t -> Fault.Clock.now () +. t) timeout in
     let outcome =
-      match run_key ?deadline key with
-      | r -> (
-          match r.Search.programs with
+      match
+        if Fault.fire Fault.Scheduler_job_exception then
+          raise (Fault.Injected Fault.Scheduler_job_exception);
+        run_key ?deadline ?budget key
+      with
+      | o -> (
+          match o.result.Search.programs with
           | p :: _ -> (
               match Verify.certify (Key.config key) p with
-              | Ok () -> `Done (Synthesized, Some p, Some r)
+              | Ok () -> `Done (Synthesized, Some p, Some o)
               | Error msg -> `Retry (Failed ("certification failed: " ^ msg)))
           | [] -> `Retry (Failed "no kernel found within the bound"))
       | exception Search.Timeout -> `Retry Timed_out
+      | exception Search.Resource_exhausted { live; budget } ->
+          `Retry (Exhausted { live; budget })
       | exception e -> `Retry (Failed (Printexc.to_string e))
     in
     match outcome with
-    | `Done (status, p, r) -> (status, p, r, k)
-    | `Retry status when k > retries -> (status, None, None, k)
-    | `Retry _ -> attempt (k + 1)
+    | `Done (status, p, o) -> (status, p, o, k)
+    | `Retry status when k > retries ->
+        log := { n = k; failure = failure_string status; backoff = 0. } :: !log;
+        (status, None, None, k)
+    | `Retry status ->
+        let d = backoff_delay ~base:backoff ~key ~attempt:k in
+        log := { n = k; failure = failure_string status; backoff = d } :: !log;
+        (try Unix.sleepf d with Unix.Unix_error _ -> ());
+        attempt (k + 1)
   in
-  let status, program, search, attempts = attempt 1 in
+  let status, program, outcome, attempts = attempt 1 in
   {
     key;
     status;
     program;
     length = Option.map Isa.Program.length program;
     attempts;
-    elapsed = Unix.gettimeofday () -. start;
-    search;
+    elapsed = Fault.Clock.now () -. start;
+    search = Option.map (fun o -> o.result) outcome;
+    degraded = (match outcome with Some o -> o.degraded | None -> false);
+    rung = (match outcome with Some o -> o.rung | None -> 0);
+    attempt_log = List.rev !log;
   }
 
-let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) keys =
+(* ------------------------------------------------------------------ *)
+(* The batch.                                                          *)
+
+let crashed_placeholder key =
+  {
+    key;
+    status = Crashed;
+    program = None;
+    length = None;
+    attempts = 1;
+    elapsed = 0.;
+    search = None;
+    degraded = false;
+    rung = 0;
+    attempt_log = [ { n = 1; failure = "worker domain crashed"; backoff = 0. } ];
+  }
+
+let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) ?(backoff = 0.05)
+    ?budget keys =
   let counters = Store.fresh_counters () in
+  (* Crash recovery before the first lookup: roll back torn temp
+     directories and re-quarantine structurally broken entries a crashed
+     predecessor left behind. *)
+  (match root with
+  | Some root -> ignore (Store.recover ~counters ~root ())
+  | None -> ());
   let keys = Array.of_list keys in
   let n = Array.length keys in
   let results = Array.make n None in
@@ -91,6 +227,9 @@ let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) keys =
               attempts = 0;
               elapsed = 0.;
               search = None;
+              degraded = false;
+              rung = 0;
+              attempt_log = [];
             }
       in
       match root with
@@ -104,50 +243,74 @@ let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) keys =
     keys;
   let pending = Array.of_list (List.rev !pending) in
   (* Synthesis pass: workers drain the miss queue. Each [results] slot is
-     written by exactly one worker, so the array needs no lock. *)
+     written by exactly one worker, so the array needs no lock. A worker
+     that dies — the [scheduler.worker_crash] fault site, or any escaped
+     exception — takes down only the job it had claimed: its slot stays
+     [None] and becomes a [Crashed] placeholder in the merge, while the
+     surviving workers keep draining the queue. *)
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let j = Atomic.fetch_and_add next 1 in
       if j < Array.length pending then begin
         let i = pending.(j) in
-        results.(i) <- Some (run_one ~timeout ~retries keys.(i));
+        if Fault.fire Fault.Scheduler_worker_crash then
+          raise (Fault.Injected Fault.Scheduler_worker_crash);
+        results.(i) <- Some (run_one ~timeout ~retries ~backoff ~budget keys.(i));
         loop ()
       end
     in
-    loop ()
+    try loop () with _ -> ()
   in
   let nworkers = max 1 (min workers (Array.length pending)) in
-  let handles =
-    List.init (nworkers - 1) (fun _ -> Domain.spawn worker)
-  in
+  let handles = List.init (nworkers - 1) (fun _ -> Domain.spawn worker) in
   worker ();
-  List.iter Domain.join handles;
-  (* Merge pass (main domain, input order): deterministic store updates. *)
+  List.iter (fun h -> try Domain.join h with _ -> ()) handles;
+  (* Merge pass (main domain, input order): deterministic store updates.
+     [insert] itself refuses degraded results, so nothing the ladder
+     produced past rung 0 can reach the optimal store. *)
   let results =
     Array.to_list
       (Array.mapi
          (fun i r ->
-           let r = Option.get r in
-           (match (root, r.status, r.search) with
-           | Some root, Synthesized, Some search -> (
-               match Store.insert ~counters ~root keys.(i) search with
-               | Ok _ -> ()
-               | Error _ -> ())
-           | _ -> ());
-           r)
+           match r with
+           | None -> crashed_placeholder keys.(i)
+           | Some r ->
+               (match (root, r.status, r.search) with
+               | Some root, Synthesized, Some search -> (
+                   match
+                     Store.insert ~counters ~degraded:r.degraded ~root keys.(i)
+                       search
+                   with
+                   | Ok _ -> ()
+                   | Error _ -> ())
+               | _ -> ());
+               r)
          results)
   in
   { results; counters }
+
+(* ------------------------------------------------------------------ *)
+(* JSON.                                                               *)
 
 let status_string = function
   | Cached -> "cached"
   | Synthesized -> "synthesized"
   | Timed_out -> "timed_out"
+  | Exhausted _ -> "exhausted"
+  | Crashed -> "crashed"
   | Failed _ -> "failed"
 
 let batch_json batch =
   let job r =
+    let attempt a =
+      Json.Obj
+        [
+          ("n", Json.Int a.n);
+          ("failure", Json.Str a.failure);
+          ("backoff_s", Json.Float a.backoff);
+        ]
+    in
     Json.Obj
       ([
          ("key", Json.Str (Key.canonical r.key));
@@ -161,10 +324,14 @@ let batch_json batch =
            match r.search with
            | Some s -> Json.Int s.Search.stats.Search.expanded
            | None -> Json.Null );
+         ("degraded", Json.Bool r.degraded);
+         ("rung", Json.Int r.rung);
+         ("attempt_log", Json.Arr (List.map attempt r.attempt_log));
        ]
       @
       match r.status with
-      | Failed msg -> [ ("error", Json.Str msg) ]
+      | (Failed _ | Exhausted _ | Crashed) as s ->
+          [ ("error", Json.Str (failure_string s)) ]
       | Cached | Synthesized | Timed_out -> [])
   in
   let c = batch.counters in
@@ -179,5 +346,6 @@ let batch_json batch =
                ("misses", Json.Int c.Store.misses);
                ("quarantined", Json.Int c.Store.quarantined);
                ("inserted", Json.Int c.Store.inserted);
+               ("recovered", Json.Int c.Store.recovered);
              ] );
        ])

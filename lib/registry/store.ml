@@ -4,10 +4,18 @@ type counters = {
   mutable quarantined : int;
   mutable inserted : int;
   mutable lint_errors : int;
+  mutable recovered : int;
 }
 
 let fresh_counters () =
-  { hits = 0; misses = 0; quarantined = 0; inserted = 0; lint_errors = 0 }
+  {
+    hits = 0;
+    misses = 0;
+    quarantined = 0;
+    inserted = 0;
+    lint_errors = 0;
+    recovered = 0;
+  }
 
 let counters_json c =
   Json.to_string
@@ -18,6 +26,7 @@ let counters_json c =
          ("quarantined", Json.Int c.quarantined);
          ("inserted", Json.Int c.inserted);
          ("lint_errors", Json.Int c.lint_errors);
+         ("recovered", Json.Int c.recovered);
        ])
 
 type entry = {
@@ -28,6 +37,7 @@ type entry = {
   expanded : int;
   elapsed : float;
   predicted_cost : float;
+  degraded : bool;
 }
 
 type lookup = Hit of entry | Miss | Quarantined of string
@@ -65,6 +75,22 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
+(* A torn page: the first half of the content, as a crash mid-write (or a
+   partial flush) would leave it. Used by the write-corruption fault sites;
+   the store must catch the damage on load, whatever shape it takes. *)
+let torn contents = String.sub contents 0 (String.length contents lsr 1)
+
+(* fsync a file or directory; directories matter because the rename is only
+   durable once the parent directory's metadata is on disk. Filesystems
+   that refuse to fsync a directory fd just skip the barrier. *)
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let rec remove_tree path =
   if Sys.is_directory path then begin
     Array.iter (fun f -> remove_tree (path / f)) (Sys.readdir path);
@@ -86,6 +112,7 @@ let meta_json key (e : entry) =
       ("expanded", Json.Int e.expanded);
       ("elapsed_s", Json.Float e.elapsed);
       ("predicted_cost", Json.Float e.predicted_cost);
+      ("degraded", Json.Bool e.degraded);
     ]
 
 let ( let* ) = Result.bind
@@ -115,7 +142,17 @@ let parse_meta src =
       let* expanded = req "expanded" Json.to_int in
       let* elapsed = req "elapsed_s" Json.to_float in
       let* predicted_cost = req "predicted_cost" Json.to_float in
-      Ok (key, length, solution_count, expanded, elapsed, predicted_cost)
+      (* Absent in format-1 entries written before the flag existed. *)
+      let* degraded =
+        match Json.member "degraded" j with
+        | None -> Ok false
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> Error "\"degraded\" is not a boolean"
+      in
+      if degraded then
+        Error "entry is flagged degraded (non-optimal); refusing to serve"
+      else
+        Ok (key, length, solution_count, expanded, elapsed, predicted_cost)
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine.                                                         *)
@@ -171,6 +208,7 @@ let load ~root hash =
           expanded;
           elapsed;
           predicted_cost;
+          degraded = false;
         }
 
 let load_unverified ~root hash =
@@ -211,43 +249,107 @@ let lookup ?counters ~root key =
 (* ------------------------------------------------------------------ *)
 (* Insert.                                                             *)
 
-let insert ?counters ~root key (r : Search.result) =
-  match r.Search.programs with
-  | [] -> Error "search result has no program to store"
-  | program :: _ -> (
-      let cfg = Key.config key in
-      let* () = Verify.certify cfg program in
-      let entry =
-        {
-          key;
-          program;
-          length = Isa.Program.length program;
-          solution_count = r.Search.solution_count;
-          expanded = r.Search.stats.Search.expanded;
-          elapsed = r.Search.stats.Search.elapsed;
-          predicted_cost = Perf.Cost.predicted_cost cfg program;
-        }
-      in
-      let hash = Key.hash key in
-      mkdir_p (store_dir root);
-      let tmp = store_dir root / Printf.sprintf ".tmp-%s-%d" hash (Unix.getpid ()) in
-      let final = store_dir root / hash in
-      match
-        if Sys.file_exists tmp then remove_tree tmp;
-        mkdir_p tmp;
-        write_file (tmp / "kernel.txt")
-          (Isa.Program.to_string cfg program ^ "\n");
-        write_file (tmp / "meta.json")
-          (Json.to_string (meta_json key entry) ^ "\n");
-        if Sys.file_exists final then remove_tree final;
-        Sys.rename tmp final
-      with
-      | () ->
-          Option.iter (fun c -> c.inserted <- c.inserted + 1) counters;
-          Ok entry
-      | exception (Sys_error m | Unix.Unix_error (_, m, _)) ->
+let insert ?counters ?(degraded = false) ~root key (r : Search.result) =
+  if degraded then
+    Error
+      "refusing to store a degraded (non-optimality-preserving) result in \
+       the optimal registry"
+  else
+    match r.Search.programs with
+    | [] -> Error "search result has no program to store"
+    | program :: _ -> (
+        let cfg = Key.config key in
+        let* () = Verify.certify cfg program in
+        let entry =
+          {
+            key;
+            program;
+            length = Isa.Program.length program;
+            solution_count = r.Search.solution_count;
+            expanded = r.Search.stats.Search.expanded;
+            elapsed = r.Search.stats.Search.elapsed;
+            predicted_cost = Perf.Cost.predicted_cost cfg program;
+            degraded = false;
+          }
+        in
+        let hash = Key.hash key in
+        mkdir_p (store_dir root);
+        let tmp =
+          store_dir root / Printf.sprintf ".tmp-%s-%d" hash (Unix.getpid ())
+        in
+        let final = store_dir root / hash in
+        let maybe_torn site contents =
+          if Fault.fire site then torn contents else contents
+        in
+        let crash_if site =
+          if Fault.fire site then raise (Fault.Injected site)
+        in
+        match
           if Sys.file_exists tmp then remove_tree tmp;
-          Error (Printf.sprintf "cannot write entry: %s" m))
+          mkdir_p tmp;
+          write_file (tmp / "kernel.txt")
+            (maybe_torn Fault.Registry_write_kernel
+               (Isa.Program.to_string cfg program ^ "\n"));
+          write_file (tmp / "meta.json")
+            (maybe_torn Fault.Registry_write_meta
+               (Json.to_string (meta_json key entry) ^ "\n"));
+          (* Durability barrier: both files and the staging directory must
+             be on disk before the rename publishes them, or a crash could
+             expose an entry whose name exists but whose bytes do not. *)
+          crash_if Fault.Registry_fsync;
+          fsync_path (tmp / "kernel.txt");
+          fsync_path (tmp / "meta.json");
+          fsync_path tmp;
+          crash_if Fault.Registry_rename;
+          if Sys.file_exists final then remove_tree final;
+          Sys.rename tmp final;
+          fsync_path (store_dir root)
+        with
+        | () ->
+            Option.iter (fun c -> c.inserted <- c.inserted + 1) counters;
+            Ok entry
+        | exception Fault.Injected site ->
+            (* A simulated crash: leave the torn staging directory exactly
+               as a killed process would, for [recover] to roll back. *)
+            Error
+              (Printf.sprintf
+                 "injected fault at %s: crashed before publishing the entry"
+                 (Fault.site_name site))
+        | exception (Sys_error m | Unix.Unix_error (_, m, _)) ->
+            if Sys.file_exists tmp then remove_tree tmp;
+            Error (Printf.sprintf "cannot write entry: %s" m))
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery.                                                     *)
+
+type recovery = { rolled_back : int; requarantined : int }
+
+let recover ?counters ~root () =
+  let dir = store_dir root in
+  let rolled_back = ref 0 and requarantined = ref 0 in
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.iter (fun name ->
+           if String.starts_with ~prefix:".tmp-" name then begin
+             (* A staging directory a crashed insert never renamed into
+                place: it was never visible to lookups, so dropping it
+                loses nothing. *)
+             remove_tree (dir / name);
+             incr rolled_back
+           end
+           else if not (String.starts_with ~prefix:"." name) then
+             match load ~root name with
+             | Ok _ -> ()
+             | Error reason ->
+                 quarantine ~root ~hash:name
+                   ~reason:("recovery: " ^ reason);
+                 incr requarantined);
+  Option.iter
+    (fun c ->
+      c.recovered <- c.recovered + !rolled_back;
+      c.quarantined <- c.quarantined + !requarantined)
+    counters;
+  { rolled_back = !rolled_back; requarantined = !requarantined }
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance.                                                        *)

@@ -6,13 +6,24 @@
     <root>/store/<hash>/meta.json    key + length + stats digest + cost
     <root>/quarantine/<hash>[.N]/    failed entries, plus a reason.txt
     v}
-    where [<hash>] is {!Key.hash} of the request. Inserts are atomic
-    (staged in a temp directory, then renamed); loads re-certify the
-    kernel on all [n!] permutations ({!Verify.certify}) and cross-check
-    the metadata, and any failure {e quarantines} the entry — moves it
-    aside with a recorded reason — rather than serving it. A quarantined
-    request therefore looks like a miss to callers, who re-synthesize and
-    re-insert. *)
+    where [<hash>] is {!Key.hash} of the request. Inserts are crash-safe:
+    staged in a temp directory, fsynced file-by-file (and the directory
+    itself), then renamed into place — so a crash at any instant leaves
+    either no entry or a complete one, never a half-written one that could
+    be served. Loads re-certify the kernel on all [n!] permutations
+    ({!Verify.certify}) and cross-check the metadata, and any failure
+    {e quarantines} the entry — moves it aside with a recorded reason —
+    rather than serving it. A quarantined request therefore looks like a
+    miss to callers, who re-synthesize and re-insert. {!recover} is the
+    open-time sweep that rolls torn temp directories back and
+    re-quarantines structurally broken entries left by a crash.
+
+    Degraded results — kernels produced by the scheduler's
+    non-optimality-preserving degradation ladder — are never stored:
+    {!insert} refuses them, every legitimate [meta.json] records
+    ["degraded": false], and a tampered entry claiming [true] is
+    quarantined on load. The store only ever holds results that are
+    optimal under their key's pruning configuration. *)
 
 type counters = {
   mutable hits : int;
@@ -23,6 +34,8 @@ type counters = {
       (** Entries that certified but carried ERROR-level static-analysis
           findings during a [~lint:true] {!verify_all} sweep (a subset of
           [quarantined]). *)
+  mutable recovered : int;
+      (** Torn temp directories rolled back by {!recover}. *)
 }
 (** Mutable tallies for one serving session. [hits], [misses], and
     [quarantined] are disjoint per lookup. *)
@@ -41,6 +54,10 @@ type entry = {
   expanded : int;  (** Search-stats digest of the producing run. *)
   elapsed : float;  (** Seconds the producing search took. *)
   predicted_cost : float;  (** {!Perf.Cost.predicted_cost} of the kernel. *)
+  degraded : bool;
+      (** Always [false] for servable entries: degraded results are
+          refused at insert and quarantined on load. The field exists so
+          the flag is explicit in every [meta.json]. *)
 }
 
 type lookup = Hit of entry | Miss | Quarantined of string
@@ -57,10 +74,38 @@ val lookup : ?counters:counters -> root:string -> Key.t -> lookup
     already been moved aside, so retrying returns [Miss]). *)
 
 val insert :
-  ?counters:counters -> root:string -> Key.t -> Search.result -> (entry, string) result
+  ?counters:counters ->
+  ?degraded:bool ->
+  root:string ->
+  Key.t ->
+  Search.result ->
+  (entry, string) result
 (** Certify and persist the first program of a search result. Fails
-    (without writing) when the result has no program or the program does
-    not certify. Overwrites any existing entry for the key. *)
+    (without writing) when the result has no program, the program does not
+    certify, or [~degraded:true] — the optimal store never accepts a
+    result produced by a non-optimality-preserving fallback. Overwrites
+    any existing entry for the key. The write path is
+    fsync-before-rename; an injected crash ([registry.rename] /
+    [registry.fsync] fault sites) returns [Error] and leaves the torn
+    temp directory for {!recover} to roll back, exactly like a real
+    crash would. *)
+
+type recovery = {
+  rolled_back : int;  (** Torn [.tmp-*] staging directories removed. *)
+  requarantined : int;
+      (** Structurally broken entries (missing or unparsable files,
+          hash/key mismatch, a [degraded] flag) moved to quarantine. *)
+}
+
+val recover : ?counters:counters -> root:string -> unit -> recovery
+(** The open-time crash-recovery scan. Rolls back every torn temp
+    directory a crashed insert left in the store, and quarantines entries
+    that fail the {e structural} checks (readable, parsable, hash/key
+    consistent — the full [n!] certification still happens on every
+    serving load). Idempotent; cheap on a healthy store (one metadata
+    parse per entry, no certification). Callers that open a registry for
+    serving — the CLI's [--cache] path, [run_batch], the registry
+    maintenance commands — run this first. *)
 
 val list_hashes : root:string -> string list
 (** Sorted entry hashes currently in the store (no verification). *)

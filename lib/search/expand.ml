@@ -15,7 +15,19 @@ type options = {
   max_len : int option;
   max_solutions : int;
   trace_every : int option;
+  state_budget : int option;
 }
+
+exception Resource_exhausted of { live : int; budget : int }
+
+let check_budget opts ~live =
+  (match opts.state_budget with
+  | Some budget when live > budget -> raise (Resource_exhausted { live; budget })
+  | _ -> ());
+  if Fault.fire Fault.Search_alloc_budget then
+    raise
+      (Resource_exhausted
+         { live; budget = Option.value opts.state_budget ~default:max_int })
 
 let needs_distance opts =
   opts.dist_viability || opts.heuristic = Dist_bound

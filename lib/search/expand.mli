@@ -35,9 +35,25 @@ type options = {
   max_len : int option;
   max_solutions : int;
   trace_every : int option;
+  state_budget : int option;
 }
 (** See {!Search.options} for field documentation; [Search.options] is an
     alias of this type. *)
+
+exception Resource_exhausted of { live : int; budget : int }
+(** The typed "out of memory budget" signal: the number of live search
+    states exceeded [options.state_budget] (or the [search.alloc_budget]
+    fault site fired). Raised from {!check_budget} — the shared chokepoint
+    all engines call once per expanded node — so every engine reports
+    exhaustion the same way. Callers that can degrade (the scheduler's
+    ladder) catch this and retry with a more aggressive cut; nothing else
+    should swallow it. *)
+
+val check_budget : options -> live:int -> unit
+(** [check_budget opts ~live] raises {!Resource_exhausted} when [live]
+    (the engine's count of live states: the dedup table, or the open set
+    when dedup is off) exceeds the configured budget. Zero-cost when no
+    budget is set and no fault plan is installed. *)
 
 val needs_distance : options -> bool
 (** Whether the option set requires the precomputed distance table. *)

@@ -14,6 +14,7 @@ type engine = Expand.engine = Astar | Level_sync
 type mode = Find_first | All_optimal | Prove_none of int
 
 exception Timeout
+exception Resource_exhausted = Expand.Resource_exhausted
 
 type options = Expand.options = {
   engine : engine;
@@ -27,6 +28,7 @@ type options = Expand.options = {
   max_len : int option;
   max_solutions : int;
   trace_every : int option;
+  state_budget : int option;
 }
 
 let default =
@@ -42,6 +44,7 @@ let default =
     max_len = None;
     max_solutions = 10_000;
     trace_every = None;
+    state_budget = None;
   }
 
 let best =
@@ -116,7 +119,8 @@ type level_acc = {
 type ctx = {
   env : Expand.env;
   start : float;
-  deadline : float option;  (** Absolute wall-clock limit; see {!Timeout}. *)
+  deadline : float option;
+      (** Absolute limit on the monotonic clock; see {!Timeout}. *)
   mutable expanded : int;
   mutable deduped : int;
   mutable max_open : int;
@@ -126,7 +130,9 @@ type ctx = {
   mutable max_depth : int; (* number of leading [accs] entries in use *)
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: deadline math must survive the wall clock stepping
+   backwards (NTP, VM suspend), and the injector can warp this clock. *)
+let now () = Fault.Clock.now ()
 
 let make_ctx ?(mode = Find_first) ?deadline cfg opts =
   let bound =
@@ -150,6 +156,7 @@ let fresh_acc () =
   { d = Expand.zero_delta (); a_expanded = 0; a_deduped = 0; a_open = 0 }
 
 let check_deadline ctx =
+  if Fault.fire Fault.Search_deadline then raise Timeout;
   match ctx.deadline with
   | Some d when now () > d -> raise Timeout
   | _ -> ()
@@ -286,6 +293,7 @@ let run_level ctx ~domains mode =
     while (not !stop) && !current <> [] do
       let g' = !level + 1 in
       let a = acc_at ctx !level in
+      let current_len = List.length !current in
       let min_pc =
         List.fold_left (fun acc n -> min acc n.pc) max_int !current
       in
@@ -344,8 +352,15 @@ let run_level ctx ~domains mode =
                   if opts.dedup then Sstate.Tbl.replace seen state' g';
                   Sstate.Tbl.replace next state' n')
       in
+      (* Live states: the cross-level dedup table dominates memory when
+         dedup is on; otherwise the frontier itself is all we hold. *)
+      let live () =
+        if opts.dedup then Sstate.Tbl.length seen
+        else current_len + Sstate.Tbl.length next
+      in
       let consume node succs =
         check_deadline ctx;
+        Expand.check_budget opts ~live:(live ());
         ctx.expanded <- ctx.expanded + 1;
         a.a_expanded <- a.a_expanded + 1;
         sample_trace ctx ~open_states:(Sstate.Tbl.length next);
@@ -460,6 +475,9 @@ let run_astar ctx =
       | None -> continue := false
       | Some (_, node) ->
           check_deadline ctx;
+          Expand.check_budget opts
+            ~live:
+              (if opts.dedup then Sstate.Tbl.length seen else Heap.size heap);
           let a = acc_at ctx node.g in
           ctx.expanded <- ctx.expanded + 1;
           a.a_expanded <- a.a_expanded + 1;

@@ -71,7 +71,16 @@ exception Timeout
 (** Raised by the engines when a [?deadline] passes mid-search (checked once
     per expanded node, so the raise is prompt even on large levels). Partial
     statistics are discarded; callers that need bounded runs — the registry's
-    batch scheduler in particular — catch this and count the attempt. *)
+    batch scheduler in particular — catch this and count the attempt. The
+    [search.deadline] fault site can force the raise at a chosen expansion
+    count. *)
+
+exception Resource_exhausted of { live : int; budget : int }
+(** Raised (from the {!Expand} core's shared budget chokepoint, checked
+    once per expanded node like the deadline) when the live-state count
+    exceeds [options.state_budget], or when the [search.alloc_budget]
+    fault site fires. The typed signal the scheduler's degradation ladder
+    catches to retry with a more aggressive cut. *)
 
 type mode =
   | Find_first  (** Stop at the first final state. *)
@@ -104,6 +113,11 @@ type options = Expand.options = {
           count is always reported; only reconstruction is capped). *)
   trace_every : int option;
       (** Sample the timeline (Figure 1) every this many expansions. *)
+  state_budget : int option;
+      (** Cap on live search states (the dedup table when [dedup] is on,
+          the open set otherwise — PAPER.md §6 reports multi-GB state sets
+          at [n = 5]). Exceeding it raises {!Resource_exhausted}; [None]
+          never does. *)
 }
 
 val default : options
@@ -174,9 +188,11 @@ type result = {
 
 val run : ?opts:options -> ?deadline:float -> Isa.Config.t -> result
 (** Synthesize sorting kernels for [cfg]. In [Find_first] mode, returns as
-    soon as a correct kernel is found. [deadline] is an absolute
-    [Unix.gettimeofday]-clock instant; the engine raises {!Timeout} when it
-    passes. *)
+    soon as a correct kernel is found. [deadline] is an absolute instant on
+    the {e monotonic} clock ({!Fault.Clock.now} — compute it as
+    [Fault.Clock.now () +. seconds], never from [Unix.gettimeofday], which
+    can step backwards under clock skew); the engine raises {!Timeout} when
+    it passes. *)
 
 val run_mode : ?opts:options -> ?deadline:float -> mode:mode -> Isa.Config.t -> result
 

@@ -2,9 +2,15 @@
 # Tier-1 smoke: build everything, run the full test tree, and exercise the
 # search-stats JSON emitter end to end (the snapshot self-validates inside
 # bench/main.exe; a malformed snapshot exits non-zero and fails the smoke).
+#
+# SMOKE_ONLY=chaos skips the tier-1 sections and runs only the
+# fault-injection / crash-recovery section at the bottom (used by the CI
+# chaos job, which has already built and tested).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${SMOKE_ONLY:-all}" = "all" ]; then
 
 echo "== dune build =="
 dune build
@@ -66,4 +72,55 @@ echo "$analysis" | grep -q '"certified":true' \
   || { echo "DCE output did not re-certify" >&2; exit 1; }
 rm -f "$padded"
 
-echo "smoke ok: $out"
+fi # SMOKE_ONLY guard
+
+echo "== chaos: torn insert, recovery, typed exit codes =="
+dune build bin/synth.exe
+reg="${TMPDIR:-/tmp}/sortsynth-chaos-smoke"
+jobs="${TMPDIR:-/tmp}/sortsynth-chaos-jobs.json"
+rm -rf "$reg"
+printf '[{"n":3}]\n' > "$jobs"
+# A batch whose one store insert crashes at the publishing rename: the
+# job still synthesizes (the search succeeded), but nothing lands in the
+# store except the torn staging directory a real crash would leave.
+dune exec bin/synth.exe -- batch "$jobs" --cache-dir "$reg" \
+    --fault-plan 'seed=42;registry.rename=nth:1' \
+  | grep -q "0 inserted" \
+  || { echo "faulted batch unexpectedly published its entry" >&2; exit 1; }
+ls "$reg"/store/.tmp-* > /dev/null 2>&1 \
+  || { echo "injected rename crash left no torn staging dir" >&2; exit 1; }
+# The next (un-faulted) batch must recover the torn dir at open, miss,
+# re-synthesize, and publish cleanly.
+dune exec bin/synth.exe -- batch "$jobs" --cache-dir "$reg" \
+  | grep -q "# registry: 0 hits, 1 misses, 0 quarantined, 1 inserted, 1 recovered" \
+  || { echo "batch after the crash did not recover + reinsert" >&2; exit 1; }
+if ls "$reg"/store/.tmp-* > /dev/null 2>&1; then
+  echo "torn staging dir survived recovery" >&2; exit 1
+fi
+# The recovered store is fully servable and certifies end to end.
+dune exec bin/synth.exe -- registry verify --cache-dir "$reg" > /dev/null \
+  || { echo "registry verify failed after recovery" >&2; exit 1; }
+# Typed exit codes: 2 = deadline, 3 = budget exhausted at the final rung.
+set +e
+dune exec bin/synth.exe -- -n 4 --engine level --timeout 0.05 > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "timeout exited $code, want 2" >&2; exit 1; }
+set +e
+dune exec bin/synth.exe -- -n 4 --engine level --state-budget 10 > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 3 ] || { echo "exhaustion exited $code, want 3" >&2; exit 1; }
+# A crashed worker domain fails its job, not the batch: the run completes,
+# reports the crash in place, and exits 1 (mixed/other failure class).
+set +e
+crash_out="$(dune exec bin/synth.exe -- batch "$jobs" --no-cache \
+    --fault-plan 'seed=7;scheduler.worker_crash=always' 2> /dev/null)"
+code=$?
+set -e
+[ "$code" -eq 1 ] || { echo "crashed batch exited $code, want 1" >&2; exit 1; }
+echo "$crash_out" | grep -q "CRASHED" \
+  || { echo "crashed batch did not report the crash" >&2; exit 1; }
+rm -rf "$reg" "$jobs"
+
+echo "smoke ok"

@@ -105,7 +105,7 @@ let test_json_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* Store.                                                              *)
 
-let synth_result key = Registry.Scheduler.run_key key
+let synth_result key = (Registry.Scheduler.run_key key).Registry.Scheduler.result
 
 let test_store_roundtrip () =
   let root = fresh_root () in
@@ -279,7 +279,11 @@ let test_batch_matches_sequential () =
     (fun key r ->
       let cfg = Registry.Key.config key in
       assert (r.Registry.Scheduler.status = Registry.Scheduler.Synthesized);
-      let sequential = List.hd (Registry.Scheduler.run_key key).Search.programs in
+      let sequential =
+        List.hd
+          (Registry.Scheduler.run_key key).Registry.Scheduler.result
+            .Search.programs
+      in
       match r.Registry.Scheduler.program with
       | Some p -> check (program_testable cfg) "parallel = sequential" sequential p
       | None -> Alcotest.fail "batch job lost its program")
