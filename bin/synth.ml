@@ -16,10 +16,16 @@
      synth lint kernel.txt            static lints; exit 1 on ERROR findings
      synth analyze kernel.txt         full report: dataflow, abstract
                                       certification, proof-carrying DCE
+     synth optimize kernel.txt        proof-carrying optimizer pipeline:
+                                      every rewrite certified on all n!
+                                      permutations, refused otherwise
+     synth equiv a.txt b.txt          exact equivalence on all n! inputs;
+                                      exit 1 + counterexample on mismatch
 
    Exit codes:
      0  success
-     1  lint / verification / synthesis failure (or mixed batch failures)
+     1  lint / verification / synthesis failure (or mixed batch failures;
+        for equiv: the kernels differ)
      2  the search deadline passed (every retry timed out)
      3  the live-state budget was exhausted even at the final
         degradation rung
@@ -107,7 +113,7 @@ let zero_stats =
 (* Default command: synthesize one kernel.                             *)
 
 let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
-    scratch cache cache_dir stats_json fault_plan timeout budget =
+    scratch cache cache_dir stats_json fault_plan timeout budget optimize =
   setup_faults fault_plan;
   let deadline = Option.map (fun t -> Fault.Clock.now () +. t) timeout in
   let cfg = Isa.Config.make ~n ~m:scratch in
@@ -155,6 +161,23 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
        impossible for a synthesized-optimal kernel — is shouted. *)
     let analysis_note = ref None in
     let degraded_note = ref None in
+    let opt_note = ref None in
+    let note_opt (rep : Opt.Pipeline.report) before =
+      let p = rep.Opt.Pipeline.optimized in
+      opt_note :=
+        Some
+          (Printf.sprintf
+             {|{"passes":[%s],"refused":%d,"rounds":%d,"instructions_before":%d,"instructions_after":%d,"cycles_before":%d,"cycles_after":%d}|}
+             (String.concat ","
+                (List.map
+                   (fun (d : Opt.Pipeline.delta) ->
+                     Printf.sprintf "%S" d.Opt.Pipeline.pass)
+                   rep.Opt.Pipeline.deltas))
+             (List.length rep.Opt.Pipeline.refusals)
+             rep.Opt.Pipeline.rounds (Array.length before) (Array.length p)
+             (Perf.Cost.simulated_cycles cfg before)
+             (Perf.Cost.simulated_cycles cfg p))
+    in
     let note_analysis p =
       let fs = Analysis.Lint.check_all cfg p in
       let errs = List.length (Analysis.Lint.errors fs) in
@@ -179,6 +202,7 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
         @ (match !degraded_note with
           | Some j -> [ ("degraded", j) ]
           | None -> [])
+        @ (match !opt_note with Some j -> [ ("opt", j) ] | None -> [])
       with
       | [] -> None
       | l -> Some l
@@ -255,8 +279,48 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
         | _ -> (
             match r.Search.programs with
             | [] -> Printf.printf "no kernel found\n"
-            | p :: _ ->
-                certify_or_die cfg p;
+            | p0 :: rest ->
+                certify_or_die cfg p0;
+                (* Post-synthesis polish: every pipeline rewrite is
+                   certified bit-identical on all n! permutations, so the
+                   printed/stored kernel still carries the proof above. *)
+                let p, r, provenance =
+                  if not optimize then (p0, r, None)
+                  else begin
+                    let rep = Opt.Pipeline.run cfg p0 in
+                    note_opt rep p0;
+                    let p = rep.Opt.Pipeline.optimized in
+                    List.iter
+                      (fun (d : Opt.Pipeline.delta) ->
+                        Printf.printf
+                          "# opt %s: %d -> %d instructions, %d -> %d \
+                           simulated cycles\n"
+                          d.Opt.Pipeline.pass d.Opt.Pipeline.instructions_before
+                          d.Opt.Pipeline.instructions_after
+                          d.Opt.Pipeline.cycles_before d.Opt.Pipeline.cycles_after)
+                      rep.Opt.Pipeline.deltas;
+                    List.iter
+                      (fun (f : Opt.Pipeline.refusal) ->
+                        Printf.eprintf "synth: opt: refused %s: %s\n"
+                          f.Opt.Pipeline.pass f.Opt.Pipeline.reason)
+                      rep.Opt.Pipeline.refusals;
+                    if Isa.Program.equal p p0 then (p0, r, None)
+                    else
+                      ( p,
+                        { r with Search.programs = p :: rest },
+                        Some
+                          {
+                            Registry.Store.optimized_from =
+                              Digest.to_hex
+                                (Digest.string (Isa.Program.to_string cfg p0));
+                            passes =
+                              List.map
+                                (fun (d : Opt.Pipeline.delta) ->
+                                  d.Opt.Pipeline.pass)
+                                rep.Opt.Pipeline.deltas;
+                          } )
+                  end
+                in
                 note_analysis p;
                 Printf.printf "# %d instructions, %d solutions, %.3f s, %d states\n"
                   (Array.length p) r.Search.solution_count
@@ -265,7 +329,8 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
                   (if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p);
                 if cacheable then
                   match
-                    Registry.Store.insert ~counters ~degraded ~root key r
+                    Registry.Store.insert ~counters ~degraded ?provenance ~root
+                      key r
                   with
                   | Ok _ ->
                       Printf.printf "# registry store %s\n" (Registry.Key.hash key)
@@ -391,18 +456,28 @@ let state_budget =
            non-optimality-preserving cuts, results flagged degraded and \
            never cached); exhaustion at the final rung exits with code 3.")
 
+let optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:
+          "Run the proof-carrying optimizer over the synthesized kernel \
+           before printing/storing it. Every rewrite is certified \
+           bit-identical on all n! permutations; refused passes are \
+           reported and leave the kernel unchanged.")
+
 let default_term =
   Term.(
     ret
       (const run $ n $ minmax $ engine $ jobs $ all $ cut $ heuristic $ max_len
       $ x86 $ prove_none $ pddl $ scratch $ cache $ cache_dir $ stats_json
-      $ fault_plan $ timeout_arg $ state_budget))
+      $ fault_plan $ timeout_arg $ state_budget $ optimize_flag))
 
 (* ------------------------------------------------------------------ *)
 (* batch: run a JSON job list through the registry + scheduler.        *)
 
 let run_batch jobs_file workers timeout retries backoff budget no_cache
-    cache_dir x86 stats_json fault_plan =
+    cache_dir x86 stats_json fault_plan optimize =
   setup_faults fault_plan;
   let src =
     match open_in_bin jobs_file with
@@ -418,7 +493,7 @@ let run_batch jobs_file workers timeout retries backoff budget no_cache
       let root = if no_cache then None else Some (resolve_root cache_dir) in
       let b =
         Registry.Scheduler.run_batch ?root ~workers ?timeout ~retries ~backoff
-          ?budget keys
+          ?budget ~optimize keys
       in
       let timeouts = ref 0 and exhausted = ref 0 and other = ref 0 in
       List.iteri
@@ -433,7 +508,12 @@ let run_batch jobs_file workers timeout retries backoff budget no_cache
                                   shortest; not cached"
                     r.elapsed )
             | Synthesized ->
-                ("synthesized", Printf.sprintf " in %.3f s" r.elapsed)
+                ( "synthesized",
+                  Printf.sprintf " in %.3f s%s" r.elapsed
+                    (if r.opt_passes = [] then ""
+                     else
+                       Printf.sprintf " (optimized: %s)"
+                         (String.concat ", " r.opt_passes)) )
             | Timed_out ->
                 incr timeouts;
                 ("TIMED OUT", Printf.sprintf " after %d attempts" r.attempts)
@@ -521,6 +601,15 @@ let batch_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Synthesize every job; skip the registry.")
   in
+  let batch_optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Run the proof-carrying optimizer over each freshly synthesized \
+             kernel before storing it; the registry entry records the \
+             original kernel's digest and the applied passes as provenance.")
+  in
   Cmd.v
     (Cmd.info "batch" ~exits
        ~doc:
@@ -533,7 +622,8 @@ let batch_cmd =
     Term.(
       ret
         (const run_batch $ jobs_file $ jobs $ timeout $ retries $ backoff
-        $ state_budget $ no_cache $ cache_dir $ x86 $ stats_json $ fault_plan))
+        $ state_budget $ no_cache $ cache_dir $ x86 $ stats_json $ fault_plan
+        $ batch_optimize))
 
 (* ------------------------------------------------------------------ *)
 (* lint / analyze: the static analyzer over kernel files.              *)
@@ -819,6 +909,297 @@ let analyze_cmd =
     Term.(ret (const run_analyze $ file_arg $ opt_n $ opt_m $ json_flag))
 
 (* ------------------------------------------------------------------ *)
+(* optimize / equiv: the proof-carrying optimizer and the translation- *)
+(* validation equivalence engine over kernel files.                    *)
+
+let write_text path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* The 0-1 shortcut is sound only once the kernel is {e syntactically} a
+   comparator network (paper §2.3) — hence extraction first, and the
+   2^n binary check only on the extracted network. *)
+let network_verdict cfg p =
+  match Opt.Extract.run cfg p with
+  | Opt.Extract.Rejected { index; reason } -> Error (index, reason)
+  | Opt.Extract.Network net ->
+      let optimal_size =
+        if cfg.Isa.Config.n >= 1 && cfg.Isa.Config.n <= 8 then
+          Some (Sortnet.size (Sortnet.optimal cfg.Isa.Config.n))
+        else None
+      in
+      Ok (net, Sortnet.sorts_all_binary net, optimal_size)
+
+let run_optimize file n m json out x86 fault_plan =
+  setup_faults fault_plan;
+  match Result.bind (read_file_res file) (fun src -> parse_kernel ~n ~m src) with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  | Ok (cfg, prog, _lines) ->
+      let rep = Opt.Pipeline.run cfg prog in
+      let p = rep.Opt.Pipeline.optimized in
+      let before = Perf.Cost.analyze cfg prog
+      and after = Perf.Cost.analyze cfg p in
+      let cyc_before = Perf.Cost.simulated_cycles cfg prog
+      and cyc_after = Perf.Cost.simulated_cycles cfg p in
+      let rendered =
+        if x86 then Isa.Program.to_x86 cfg p else Isa.Program.to_string cfg p
+      in
+      let net = network_verdict cfg p in
+      if json then begin
+        let open Registry.Json in
+        let delta_obj (d : Opt.Pipeline.delta) =
+          Obj
+            [
+              ("pass", Str d.Opt.Pipeline.pass);
+              ("round", Int d.Opt.Pipeline.round);
+              ("instructions_before", Int d.Opt.Pipeline.instructions_before);
+              ("instructions_after", Int d.Opt.Pipeline.instructions_after);
+              ("cycles_before", Int d.Opt.Pipeline.cycles_before);
+              ("cycles_after", Int d.Opt.Pipeline.cycles_after);
+              ("critical_before", Int d.Opt.Pipeline.critical_before);
+              ("critical_after", Int d.Opt.Pipeline.critical_after);
+            ]
+        in
+        let refusal_obj (f : Opt.Pipeline.refusal) =
+          Obj
+            [
+              ("pass", Str f.Opt.Pipeline.pass);
+              ("round", Int f.Opt.Pipeline.round);
+              ("reason", Str f.Opt.Pipeline.reason);
+            ]
+        in
+        (* "passes" is the deduplicated applied-pass set in sorted order
+           (byte-stable); "deltas" keeps application order, which is
+           deterministic for a given input. *)
+        let passes =
+          List.sort_uniq compare
+            (List.map
+               (fun (d : Opt.Pipeline.delta) -> d.Opt.Pipeline.pass)
+               rep.Opt.Pipeline.deltas)
+        in
+        let network =
+          match net with
+          | Error (index, reason) ->
+              Obj
+                [
+                  ("extracted", Bool false);
+                  ("index", Int index);
+                  ("reason", Str reason);
+                ]
+          | Ok (net, zero_one, optimal_size) ->
+              Obj
+                ([
+                   ("extracted", Bool true);
+                   ( "comparators",
+                     Arr
+                       (List.map
+                          (fun (i, j) -> Arr [ Int i; Int j ])
+                          net.Sortnet.comparators) );
+                   ("size", Int (Sortnet.size net));
+                   ("zero_one_certified", Bool zero_one);
+                 ]
+                @
+                match optimal_size with
+                | Some s -> [ ("optimal_size", Int s) ]
+                | None -> [])
+        in
+        print_endline
+          (to_string
+             (Obj
+                [
+                  ("file", Str file);
+                  ("n", Int cfg.Isa.Config.n);
+                  ("m", Int cfg.Isa.Config.m);
+                  ("instructions_before", Int before.Perf.Cost.instructions);
+                  ("instructions_after", Int after.Perf.Cost.instructions);
+                  ("cycles_before", Int cyc_before);
+                  ("cycles_after", Int cyc_after);
+                  ("critical_before", Int before.Perf.Cost.critical_path);
+                  ("critical_after", Int after.Perf.Cost.critical_path);
+                  ("rounds", Int rep.Opt.Pipeline.rounds);
+                  ("certified", Bool rep.Opt.Pipeline.certified);
+                  ("passes", Arr (List.map (fun s -> Str s) passes));
+                  ("deltas", Arr (List.map delta_obj rep.Opt.Pipeline.deltas));
+                  ( "refusals",
+                    Arr (List.map refusal_obj rep.Opt.Pipeline.refusals) );
+                  ("network", network);
+                  ("program", Str rendered);
+                ]))
+      end
+      else begin
+        Printf.printf "# %s: n=%d m=%d\n" file cfg.Isa.Config.n
+          cfg.Isa.Config.m;
+        List.iter
+          (fun (d : Opt.Pipeline.delta) ->
+            Printf.printf
+              "# round %d %s: %d -> %d instructions, %d -> %d simulated \
+               cycles, %d -> %d critical path\n"
+              d.Opt.Pipeline.round d.Opt.Pipeline.pass
+              d.Opt.Pipeline.instructions_before
+              d.Opt.Pipeline.instructions_after d.Opt.Pipeline.cycles_before
+              d.Opt.Pipeline.cycles_after d.Opt.Pipeline.critical_before
+              d.Opt.Pipeline.critical_after)
+          rep.Opt.Pipeline.deltas;
+        List.iter
+          (fun (f : Opt.Pipeline.refusal) ->
+            Printf.printf "# round %d %s: REFUSED — %s\n" f.Opt.Pipeline.round
+              f.Opt.Pipeline.pass f.Opt.Pipeline.reason)
+          rep.Opt.Pipeline.refusals;
+        Printf.printf
+          "# total: %d -> %d instructions, %d -> %d simulated cycles, %d -> \
+           %d critical path (%d round(s))\n"
+          before.Perf.Cost.instructions after.Perf.Cost.instructions cyc_before
+          cyc_after before.Perf.Cost.critical_path after.Perf.Cost.critical_path
+          rep.Opt.Pipeline.rounds;
+        Printf.printf "# certified: %s\n"
+          (if rep.Opt.Pipeline.certified then
+             Printf.sprintf "OK — sorts all %d! permutations"
+               cfg.Isa.Config.n
+           else "NO (input does not certify)");
+        (match net with
+        | Ok (net, zero_one, optimal_size) ->
+            Printf.printf
+              "# network: extracted %d comparator(s) [%s], 0-1 certified: %s%s\n"
+              (Sortnet.size net)
+              (String.concat " "
+                 (List.map
+                    (fun (i, j) -> Printf.sprintf "(%d,%d)" i j)
+                    net.Sortnet.comparators))
+              (if zero_one then "yes" else "NO")
+              (match optimal_size with
+              | Some s when Sortnet.size net = s -> " — size-optimal"
+              | Some s ->
+                  Printf.sprintf " — known optimal is %d comparator(s)" s
+              | None -> "")
+        | Error (index, reason) ->
+            Printf.printf "# network: not extractable at instruction %d: %s\n"
+              index reason);
+        match out with
+        | None -> print_string rendered
+        | Some _ -> ()
+      end;
+      (match out with
+      | Some path ->
+          write_text path rendered;
+          if not json then Printf.printf "# wrote %s\n" path
+      | None -> ());
+      `Ok ()
+
+let run_equiv file_a file_b n m json =
+  let ( let* ) = Result.bind in
+  let parsed =
+    let* src_a = read_file_res file_a in
+    let* src_b = read_file_res file_b in
+    (* Both kernels must run in one register file: unless -n/-m pin it,
+       take the widest configuration either file needs. *)
+    let* n, m =
+      match (n, m) with
+      | Some n, Some m -> Ok (n, m)
+      | _ ->
+          let* na, ma = infer_dims src_a in
+          let* nb, mb = infer_dims src_b in
+          Ok
+            ( Option.value n ~default:(max na nb),
+              Option.value m ~default:(max ma mb) )
+    in
+    let* cfg, pa, _ = parse_kernel ~n:(Some n) ~m:(Some m) src_a in
+    let* _, pb, _ = parse_kernel ~n:(Some n) ~m:(Some m) src_b in
+    Ok (cfg, pa, pb)
+  in
+  match parsed with
+  | Error msg -> `Error (false, msg)
+  | Ok (cfg, pa, pb) -> (
+      let ints a = Registry.Json.Arr (List.map (fun v -> Registry.Json.Int v) (Array.to_list a)) in
+      match Opt.Equiv.compare cfg pa pb with
+      | Opt.Equiv.Equivalent ->
+          if json then
+            print_endline
+              (Registry.Json.to_string
+                 (Registry.Json.Obj
+                    [
+                      ("a", Registry.Json.Str file_a);
+                      ("b", Registry.Json.Str file_b);
+                      ("n", Registry.Json.Int cfg.Isa.Config.n);
+                      ("m", Registry.Json.Int cfg.Isa.Config.m);
+                      ("equivalent", Registry.Json.Bool true);
+                    ]))
+          else
+            Printf.printf
+              "%s and %s are equivalent: bit-identical value registers on \
+               all %d! permutations\n"
+              file_a file_b cfg.Isa.Config.n;
+          `Ok ()
+      | Opt.Equiv.Differs { input; out_a; out_b } ->
+          if json then
+            print_endline
+              (Registry.Json.to_string
+                 (Registry.Json.Obj
+                    [
+                      ("a", Registry.Json.Str file_a);
+                      ("b", Registry.Json.Str file_b);
+                      ("n", Registry.Json.Int cfg.Isa.Config.n);
+                      ("m", Registry.Json.Int cfg.Isa.Config.m);
+                      ("equivalent", Registry.Json.Bool false);
+                      ("input", ints input);
+                      ("output_a", ints out_a);
+                      ("output_b", ints out_b);
+                    ]))
+          else begin
+            let arr a =
+              String.concat " " (List.map string_of_int (Array.to_list a))
+            in
+            Printf.printf "%s and %s DIFFER\n" file_a file_b;
+            Printf.printf "counterexample input: %s\n" (arr input);
+            Printf.printf "%s output:            %s\n" file_a (arr out_a);
+            Printf.printf "%s output:            %s\n" file_b (arr out_b)
+          end;
+          exit 1)
+
+let optimize_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the optimized kernel to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~exits
+       ~doc:
+         "Run the proof-carrying pass pipeline (copy propagation, redundant-\
+          cmp elimination, cmov coalescing, DCE, canonical renaming, list \
+          scheduling) to fixpoint over a kernel file. Every rewrite is \
+          accepted only with a certificate — bit-identical value registers \
+          on all n! permutations, re-checked by the abstract certifier — \
+          and refused otherwise, leaving the kernel unchanged. Also reports \
+          whether the result is syntactically a comparator network (then \
+          0-1 certified and compared against the known-optimal size).")
+    Term.(
+      ret
+        (const run_optimize $ file_arg $ opt_n $ opt_m $ json_flag $ out_arg
+        $ x86 $ fault_plan))
+
+let equiv_cmd =
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B.txt" ~doc:"Second kernel file.")
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~exits
+       ~doc:
+         "Decide whether two kernel files compute identical value-register \
+          outputs on every input, by exact comparison over all n! \
+          permutations (translation validation, not the 0-1 shortcut — \
+          sound for arbitrary cmov kernels, not just networks). Exits 0 \
+          when equivalent; exits 1 with a concrete counterexample \
+          permutation and both outputs when they differ.")
+    Term.(
+      ret (const run_equiv $ file_arg $ file_b $ opt_n $ opt_m $ json_flag))
+
+(* ------------------------------------------------------------------ *)
 (* registry list | verify | gc                                         *)
 
 let registry_list cache_dir =
@@ -887,14 +1268,26 @@ let registry_verify cache_dir lint stats_json =
   if !bad + rcv.Registry.Store.requarantined > 0 then exit exit_corrupt;
   `Ok ()
 
-let registry_gc cache_dir =
+let registry_gc cache_dir dry_run =
   let root = resolve_root cache_dir in
-  let rcv = Registry.Store.recover ~root () in
-  if rcv.Registry.Store.rolled_back > 0 then
-    Printf.printf "# recovered: %d torn insert(s) rolled back\n"
-      rcv.Registry.Store.rolled_back;
-  let kept, purged = Registry.Store.gc ~root in
-  Printf.printf "# %d entries kept, %d quarantined entries purged\n" kept purged;
+  (* Recovery mutates the store (rollback / re-quarantine), so a dry run
+     must skip it: --dry-run touches nothing on disk. *)
+  if not dry_run then begin
+    let rcv = Registry.Store.recover ~root () in
+    if rcv.Registry.Store.rolled_back > 0 then
+      Printf.printf "# recovered: %d torn insert(s) rolled back\n"
+        rcv.Registry.Store.rolled_back
+  end;
+  let report = Registry.Store.gc ~dry_run ~root () in
+  List.iter
+    (fun v ->
+      Printf.printf "%s %s\n" (if dry_run then "would purge" else "purged") v)
+    report.Registry.Store.victims;
+  Printf.printf "# %d entries kept, %d purged%s, %d bytes %s\n"
+    report.Registry.Store.kept report.Registry.Store.purged
+    (if dry_run then " (dry run: nothing removed)" else "")
+    report.Registry.Store.reclaimed_bytes
+    (if dry_run then "would be reclaimed" else "reclaimed");
   `Ok ()
 
 let registry_cmd =
@@ -919,14 +1312,30 @@ let registry_cmd =
             corrupted). With $(b,--lint), entries must also be lint-clean.")
       Term.(ret (const registry_verify $ cache_dir $ lint_flag $ stats_json))
   in
+  let dry_run_flag =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Report what gc would remove (victims, entry count, reclaimable \
+             bytes) without touching the store — no recovery, no \
+             quarantining, no deletion.")
+  in
+  let gc_cmd =
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Re-certify every entry, quarantine failures, then delete the \
+            quarantine area, reporting the reclaimed entries and bytes. \
+            With $(b,--dry-run), only report what would be removed.")
+      Term.(ret (const registry_gc $ cache_dir $ dry_run_flag))
+  in
   Cmd.group
     (Cmd.info "registry" ~doc:"Inspect and maintain the on-disk kernel registry.")
     [
       simple "list" "List stored entries (no verification)." registry_list;
       verify_cmd;
-      simple "gc"
-        "Re-certify every entry, then delete the quarantine area."
-        registry_gc;
+      gc_cmd;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -935,6 +1344,6 @@ let cmd =
   Cmd.group ~default:default_term
     (Cmd.info "synth" ~exits
        ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
-    [ batch_cmd; registry_cmd; lint_cmd; analyze_cmd ]
+    [ batch_cmd; registry_cmd; lint_cmd; analyze_cmd; optimize_cmd; equiv_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,7 @@ type severity = Error | Warning
 type rule =
   | Dead_write
   | Dead_cmp
+  | Redundant_cmp
   | Orphan_cmov
   | Uninit_scratch_read
   | Trailing_code
@@ -19,6 +20,7 @@ type finding = {
 let rule_id = function
   | Dead_write -> "dead-write"
   | Dead_cmp -> "dead-cmp"
+  | Redundant_cmp -> "redundant-cmp"
   | Orphan_cmov -> "orphan-cmov"
   | Uninit_scratch_read -> "uninit-scratch-read"
   | Trailing_code -> "trailing-code"
@@ -27,8 +29,8 @@ let rule_id = function
 
 let severity_of_rule = function
   | Uninit_scratch_read -> Warning
-  | Dead_write | Dead_cmp | Orphan_cmov | Trailing_code | Semantic_noop
-  | Not_sorting ->
+  | Dead_write | Dead_cmp | Redundant_cmp | Orphan_cmov | Trailing_code
+  | Semantic_noop | Not_sorting ->
       Error
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
@@ -37,12 +39,17 @@ let finding rule index message =
   { rule; severity = severity_of_rule rule; index; message }
 
 (* Findings sort by anchor: whole-program findings first, then by
-   instruction index, warnings after errors at the same index. *)
+   instruction index, warnings after errors at the same index; equal
+   (index, severity) pairs tie-break on the rule id so reports are byte
+   stable however the checks happened to run. *)
 let sort fs =
   List.stable_sort
     (fun a b ->
       match compare a.index b.index with
-      | 0 -> compare a.severity b.severity
+      | 0 -> (
+          match compare a.severity b.severity with
+          | 0 -> compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
       | c -> c)
     fs
 
@@ -89,6 +96,35 @@ let check cfg p =
                              value is the constant 0" str
                (Isa.Config.reg_name cfg r)))
       (reads x)
+  done;
+  (* redundant-cmp: a cmp re-comparing the exact operand pair of the cmp
+     whose flags are still in effect, with nothing in between reading the
+     flags or writing either operand — the flags it computes are already
+     set. Tracked separately from the dataflow facts above because the
+     witness is a *pair* of cmps, not a single dead instruction. *)
+  let last_cmp = ref None in
+  for i = 0 to len - 1 do
+    let x = p.(i) in
+    let open Isa.Instr in
+    match x.op with
+    | Cmp ->
+        (match !last_cmp with
+        | Some (j, a, b) when a = x.dst && b = x.src ->
+            add Redundant_cmp i
+              (Printf.sprintf
+                 "'%s' repeats the cmp at %d on an unchanged operand pair: \
+                  the flags are already set"
+                 (Isa.Instr.to_string cfg x) j)
+        | _ -> ());
+        last_cmp := Some (i, x.dst, x.src)
+    | Cmovl | Cmovg ->
+        (* A flag reader between the two cmps breaks the back-to-back
+           pattern (and its conditional write may change an operand). *)
+        last_cmp := None
+    | Mov -> (
+        match !last_cmp with
+        | Some (_, a, b) when x.dst = a || x.dst = b -> last_cmp := None
+        | _ -> ())
   done;
   let rec suffix_start k =
     if k > 0 && not (Dataflow.is_effective df (k - 1)) then suffix_start (k - 1)

@@ -14,6 +14,11 @@ type rule =
   | Dead_cmp
       (** A [cmp] whose flags are never consumed before the next [cmp]
           clobbers them or the program ends. *)
+  | Redundant_cmp
+      (** A [cmp] repeating the in-effect cmp's exact operand pair, with
+          no intervening flag-reading or operand-writing instruction: the
+          flags it computes are already set. The finding anchors to the
+          {e second} cmp of the pair (the removable one). *)
   | Orphan_cmov
       (** A conditional move with no reaching [cmp]: both flags still hold
           their initial cleared state, so the move can never fire. *)
@@ -45,9 +50,10 @@ val rule_id : rule -> string
 val severity_to_string : severity -> string
 
 val check : Isa.Config.t -> Isa.Program.t -> finding list
-(** Dataflow-only lints ({!Dead_write}, {!Dead_cmp}, {!Orphan_cmov},
-    {!Uninit_scratch_read}, {!Trailing_code}), sorted by instruction
-    index. Purely syntactic — never executes the program. *)
+(** Dataflow-only lints ({!Dead_write}, {!Dead_cmp}, {!Redundant_cmp},
+    {!Orphan_cmov}, {!Uninit_scratch_read}, {!Trailing_code}), sorted by
+    instruction index (ties broken by severity, then rule id, so reports
+    are byte-stable). Purely syntactic — never executes the program. *)
 
 val check_all : Isa.Config.t -> Isa.Program.t -> finding list
 (** {!check} plus the semantic lints from the abstract interpreter:

@@ -7,6 +7,7 @@ type site =
   | Scheduler_job_exception
   | Search_alloc_budget
   | Search_deadline
+  | Opt_break_pass
 
 let all_sites =
   [
@@ -18,6 +19,7 @@ let all_sites =
     Scheduler_job_exception;
     Search_alloc_budget;
     Search_deadline;
+    Opt_break_pass;
   ]
 
 let site_name = function
@@ -29,6 +31,7 @@ let site_name = function
   | Scheduler_job_exception -> "scheduler.job_exception"
   | Search_alloc_budget -> "search.alloc_budget"
   | Search_deadline -> "search.deadline"
+  | Opt_break_pass -> "opt.break_pass"
 
 let site_index = function
   | Registry_write_kernel -> 0
@@ -39,6 +42,7 @@ let site_index = function
   | Scheduler_job_exception -> 5
   | Search_alloc_budget -> 6
   | Search_deadline -> 7
+  | Opt_break_pass -> 8
 
 let n_sites = List.length all_sites
 

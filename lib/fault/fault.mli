@@ -47,6 +47,11 @@ type site =
   | Search_deadline
       (** [search.deadline] — the deadline check fires early; with an
           [Nth k] trigger this is "the deadline passes at expansion k". *)
+  | Opt_break_pass
+      (** [opt.break_pass] — the kernel optimizer's rewrite proposal is
+          sabotaged (a semantics-changing mutation) before certification,
+          so the certifier must refuse it. Exercises the proof-carrying
+          contract: a broken pass can never silently miscompile. *)
 
 val all_sites : site list
 val site_name : site -> string

@@ -1,0 +1,38 @@
+type t = { pass : string; before : Isa.Program.t; after : Isa.Program.t }
+
+let ints a = String.concat " " (Array.to_list (Array.map string_of_int a))
+
+let discharge cfg { pass; before; after } =
+  let n = cfg.Isa.Config.n in
+  let mismatch =
+    List.find_opt
+      (fun perm ->
+        let c0 = Machine.Assign.of_permutation cfg perm in
+        Machine.Assign.perm_key cfg (Machine.Assign.run cfg before c0)
+        <> Machine.Assign.perm_key cfg (Machine.Assign.run cfg after c0))
+      (Perms.all n)
+  in
+  match mismatch with
+  | Some perm ->
+      Error
+        (Printf.sprintf
+           "pass %s is not behavior-preserving: on input [%s] the rewrite \
+            produces [%s] where the original produces [%s]"
+           pass (ints perm)
+           (ints (Machine.Exec.run cfg after perm))
+           (ints (Machine.Exec.run cfg before perm)))
+  | None ->
+      (* Independent second proof: when the input certifies, the output
+         must re-certify under the abstract interpreter. Bit-identity
+         already implies it semantically; running the certifier anyway
+         means a bug in either checker is caught by the other. *)
+      if
+        Result.is_ok (Analysis.Absint.certify cfg before)
+        && not (Result.is_ok (Analysis.Absint.certify cfg after))
+      then
+        Error
+          (Printf.sprintf
+             "pass %s: the rewrite no longer certifies under the abstract \
+              interpreter although the input did"
+             pass)
+      else Ok ()

@@ -1,0 +1,15 @@
+type verdict =
+  | Equivalent
+  | Differs of { input : int array; out_a : int array; out_b : int array }
+
+let compare cfg a b =
+  let n = cfg.Isa.Config.n in
+  let rec go = function
+    | [] -> Equivalent
+    | perm :: rest ->
+        let out_a = Machine.Exec.run cfg a perm in
+        let out_b = Machine.Exec.run cfg b perm in
+        if out_a = out_b then go rest
+        else Differs { input = perm; out_a; out_b }
+  in
+  go (Perms.all n)

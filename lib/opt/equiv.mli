@@ -1,0 +1,24 @@
+(** Translation validation: exact kernel equivalence.
+
+    Two kernels over the same configuration are {e equivalent} when their
+    value-register outputs agree on every one of the [n!] input
+    permutations — the same observable the synthesis correctness
+    criterion (paper Eq. 1) and the rewrite certificates ({!Cert}) use.
+    Because the ISA is constant-free, agreement on all permutations of
+    [1..n] implies agreement on arbitrary inputs, the same argument that
+    makes {!Machine.Exec.sorts_all_permutations} a complete check.
+
+    This is decision, not verification: neither kernel needs to sort.
+    Two equally wrong kernels can be equivalent; a counterexample is a
+    concrete permutation on which the two disagree, with both outputs. *)
+
+type verdict =
+  | Equivalent
+  | Differs of { input : int array; out_a : int array; out_b : int array }
+      (** The lexicographically first permutation of [1..n] on which the
+          kernels' value-register outputs differ. *)
+
+val compare : Isa.Config.t -> Isa.Program.t -> Isa.Program.t -> verdict
+(** Scratch-register counts may differ between the kernels as parsed;
+    [cfg] must be wide enough for both. Scratch contents and flags are
+    not observable and do not affect the verdict. *)

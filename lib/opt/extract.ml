@@ -1,0 +1,77 @@
+type result =
+  | Network of Sortnet.t
+  | Rejected of { index : int; reason : string }
+
+(* One compare-exchange block: {mov s a; cmp a b} in either order, then
+   cmovg a b (min into the low wire) and cmovg b s (the saved old a — the
+   max — into the high wire). With the canonical cmp order a < b, an
+   ascending exchange can only be spelled with cmovg: the cmovl twin
+   would put the max on the low wire (a descending comparator), which a
+   Sortnet.t cannot express. *)
+let match_block cfg p k =
+  let open Isa.Instr in
+  let reject off reason = Error (k + off, reason) in
+  let i0 = p.(k) and i1 = p.(k + 1) and i2 = p.(k + 2) and i3 = p.(k + 3) in
+  let save_cmp =
+    match (i0.op, i1.op) with
+    | Mov, Cmp -> Ok (i0, i1)
+    | Cmp, Mov -> Ok (i1, i0)
+    | Mov, _ | Cmp, _ ->
+        reject 1 "expected the block's mov/cmp pair to complete here"
+    | (Cmovl | Cmovg), _ ->
+        reject 0 "comparator block must start with mov/cmp, found a cmov"
+  in
+  match save_cmp with
+  | Error _ as e -> e
+  | Ok (save, cmp) -> (
+      let a = cmp.dst and b = cmp.src and s = save.dst in
+      if save.src <> a then
+        reject 0
+          (Printf.sprintf "the mov must save the cmp's first operand (%s)"
+             (Isa.Config.reg_name cfg a))
+      else if Isa.Config.is_value_reg cfg s then
+        reject 0 "the saved copy must go to a scratch register"
+      else if not (Isa.Config.is_value_reg cfg b) then
+        reject 1 "cmp operands must both be value registers (network wires)"
+      else
+        match (i2.op, i3.op) with
+        | Cmovl, _ | _, Cmovl ->
+            reject 2
+              "cmovl here is a descending comparator (max on the low wire); \
+               sorting networks are ascending"
+        | Cmovg, Cmovg ->
+            if i2.dst = a && i2.src = b && i3.dst = b && i3.src = s then
+              Ok (a, b)
+            else if i2.dst = a && i2.src = b then
+              reject 3
+                (Printf.sprintf "expected cmovg %s %s to restore the max"
+                   (Isa.Config.reg_name cfg b)
+                   (Isa.Config.reg_name cfg s))
+            else
+              reject 2
+                (Printf.sprintf "expected cmovg %s %s to move the min"
+                   (Isa.Config.reg_name cfg a)
+                   (Isa.Config.reg_name cfg b))
+        | (Mov | Cmp), _ | _, (Mov | Cmp) ->
+            reject 2 "expected the block's two cmovg instructions")
+
+let run cfg p =
+  let len = Array.length p in
+  let rec go k acc =
+    if k = len then Network (Sortnet.make cfg.Isa.Config.n (List.rev acc))
+    else if len - k < 4 then
+      Rejected
+        {
+          index = k;
+          reason =
+            Printf.sprintf
+              "truncated comparator block: %d trailing instruction(s), \
+               blocks are 4"
+              (len - k);
+        }
+    else
+      match match_block cfg p k with
+      | Ok comparator -> go (k + 4) (comparator :: acc)
+      | Error (index, reason) -> Rejected { index; reason }
+  in
+  go 0 []

@@ -1,0 +1,29 @@
+(** Comparator-network extraction.
+
+    Recognizes kernels that are a straight sequence of the standard
+    4-instruction compare-exchange block (paper, Section 2.1) —
+    [mov s a; cmp a b; cmovg a b; cmovg b s] with the [mov] and [cmp] in
+    either order, [a < b] value registers and [s] scratch — and lifts
+    them to a {!Sortnet.t}.
+
+    Why it matters: the 0-1 principle is {e unsound} for general cmov
+    kernels (paper Section 2.3, witnessed by [Machine.Zeroone]) but
+    {e sound} for comparator networks, so a successful extraction
+    downgrades verification from [n!] permutations to [2^n] binary
+    vectors ({!Sortnet.sorts_all_binary}) — and the extracted network can
+    be cross-checked against the known-optimal networks of
+    {!Sortnet.optimal}. A kernel that is not such a sequence is reported
+    with the first offending instruction; no network claim — and hence no
+    0-1 shortcut — is ever made for it. *)
+
+type result =
+  | Network of Sortnet.t
+  | Rejected of { index : int; reason : string }
+      (** [index] is the first instruction (0-based) at which the program
+          stops looking like a comparator sequence. *)
+
+val run : Isa.Config.t -> Isa.Program.t -> result
+(** Extraction is purely syntactic: [Network net] means the program {e is}
+    the compilation of [net] (up to the mov/cmp order inside each block),
+    so the network's semantics and the kernel's coincide by construction
+    of {!Sortnet.to_kernel}. *)

@@ -89,6 +89,58 @@ let analyze cfg p =
     latency_bound = float_of_int !critical;
   }
 
+(* In-order issue simulation. [analyze]'s critical path and throughput are
+   both invariant under any semantics-preserving reorder (the RAW DAG and
+   the uop counts do not depend on the order of independent instructions),
+   so they cannot reward a scheduler. This model can: instructions issue
+   strictly in program order, at most [issue_width] per cycle and at most 2
+   conditional moves per cycle (the port limit), and an instruction whose
+   RAW operands are not ready stalls everything behind it. The count is the
+   cycle in which the last instruction's result is ready. *)
+let simulated_cycles cfg p =
+  let nregs = Isa.Config.nregs cfg in
+  (* ready.(r) = first cycle register r's value can be consumed; slot
+     [nregs] is the flags. Everything is ready at cycle 0 on entry. *)
+  let ready = Array.make (nregs + 1) 0 in
+  let flags = nregs in
+  let cycle = ref 0 in
+  let issued = ref 0 and cmovs = ref 0 in
+  let finish = ref 0 in
+  Array.iter
+    (fun i ->
+      let open Isa.Instr in
+      let reads =
+        match i.op with
+        | Cmp -> [ i.dst; i.src ]
+        | Mov -> [ i.src ]
+        (* A conditional move reads its destination (the old value flows
+           through when the flag is clear) and the flags. *)
+        | Cmovl | Cmovg -> [ i.src; i.dst; flags ]
+      in
+      let operands_ready =
+        List.fold_left (fun acc r -> max acc ready.(r)) 0 reads
+      in
+      if operands_ready > !cycle then begin
+        cycle := operands_ready;
+        issued := 0;
+        cmovs := 0
+      end;
+      let conditional = is_conditional i in
+      while !issued >= issue_width || (conditional && !cmovs >= 2) do
+        incr cycle;
+        issued := 0;
+        cmovs := 0
+      done;
+      incr issued;
+      if conditional then incr cmovs;
+      let done_at = !cycle + (resources i.op).latency in
+      (match i.op with
+      | Cmp -> ready.(flags) <- done_at
+      | Mov | Cmovl | Cmovg -> ready.(i.dst) <- done_at);
+      finish := max !finish done_at)
+    p;
+  !finish
+
 let predicted_cost cfg p =
   let a = analyze cfg p in
   (* Random-input standalone runs are neither purely latency- nor purely

@@ -15,6 +15,10 @@ type resource = {
   ports : int;  (** Number of execution ports that can run it. *)
 }
 
+val issue_width : int
+(** Instructions issued per cycle by the modeled core (4). Conditional
+    moves are additionally limited to 2 per cycle by the port count. *)
+
 val resources : Isa.Instr.opcode -> resource
 (** [mov] is eliminated by renaming (latency 0) but still consumes a slot;
     [cmp] and conditional moves have single-cycle latency. *)
@@ -39,6 +43,17 @@ val dependence_edges : Isa.Config.t -> Isa.Program.t -> (int * int) list
     as used for the critical path. Write-after-write and write-after-read
     hazards are ignored (register renaming removes them), matching the
     paper's remark that moves "only influence register renaming". *)
+
+val simulated_cycles : Isa.Config.t -> Isa.Program.t -> int
+(** In-order issue simulation: instructions issue in program order, at most
+    [issue_width] per cycle (2 for conditional moves — the port limit), and
+    an instruction stalls until its RAW operands are ready. Unlike
+    {!analyze}'s critical path and throughput — which are invariant under
+    any semantics-preserving reorder — this metric is {e order-sensitive},
+    which is what makes it a usable objective for the optimizer's list
+    scheduler ({!Opt.Passes}): interleaving independent dependence chains
+    fills stall cycles. Returns the cycle in which the last result is
+    ready; 0 for the empty program. *)
 
 val predicted_cost : Isa.Config.t -> Isa.Program.t -> float
 (** Scalar used for ranking kernels: a weighted blend of throughput and

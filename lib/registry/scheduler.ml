@@ -19,6 +19,7 @@ type job_result = {
   degraded : bool;
   rung : int;
   attempt_log : attempt list;
+  opt_passes : string list;
 }
 
 type batch = { results : job_result list; counters : Store.counters }
@@ -135,7 +136,7 @@ let backoff_delay ~base ~key ~attempt =
    between attempts. Exceptions must not escape (they would kill the
    domain), so everything funnels into a [status]; each failed attempt
    is recorded in the [attempt_log]. *)
-let run_one ~timeout ~retries ~backoff ~budget key =
+let run_one ?(optimize = false) ~timeout ~retries ~backoff ~budget key =
   let start = Fault.Clock.now () in
   let log = ref [] in
   let rec attempt k =
@@ -150,7 +151,22 @@ let run_one ~timeout ~retries ~backoff ~budget key =
           match o.result.Search.programs with
           | p :: _ -> (
               match Verify.certify (Key.config key) p with
-              | Ok () -> `Done (Synthesized, Some p, Some o)
+              | Ok () ->
+                  if optimize then begin
+                    (* Post-synthesis polish: every rewrite the pipeline
+                       applies is certified bit-identical, and a refused
+                       pass leaves the kernel alone — so this can only
+                       reorder/shrink, never invalidate, the certified
+                       program above. *)
+                    let rep = Opt.Pipeline.run (Key.config key) p in
+                    let passes =
+                      List.map
+                        (fun (d : Opt.Pipeline.delta) -> d.Opt.Pipeline.pass)
+                        rep.Opt.Pipeline.deltas
+                    in
+                    `Done (Synthesized, Some rep.Opt.Pipeline.optimized, Some o, passes)
+                  end
+                  else `Done (Synthesized, Some p, Some o, [])
               | Error msg -> `Retry (Failed ("certification failed: " ^ msg)))
           | [] -> `Retry (Failed "no kernel found within the bound"))
       | exception Search.Timeout -> `Retry Timed_out
@@ -159,17 +175,17 @@ let run_one ~timeout ~retries ~backoff ~budget key =
       | exception e -> `Retry (Failed (Printexc.to_string e))
     in
     match outcome with
-    | `Done (status, p, o) -> (status, p, o, k)
+    | `Done (status, p, o, passes) -> (status, p, o, passes, k)
     | `Retry status when k > retries ->
         log := { n = k; failure = failure_string status; backoff = 0. } :: !log;
-        (status, None, None, k)
+        (status, None, None, [], k)
     | `Retry status ->
         let d = backoff_delay ~base:backoff ~key ~attempt:k in
         log := { n = k; failure = failure_string status; backoff = d } :: !log;
         (try Unix.sleepf d with Unix.Unix_error _ -> ());
         attempt (k + 1)
   in
-  let status, program, outcome, attempts = attempt 1 in
+  let status, program, outcome, opt_passes, attempts = attempt 1 in
   {
     key;
     status;
@@ -181,6 +197,7 @@ let run_one ~timeout ~retries ~backoff ~budget key =
     degraded = (match outcome with Some o -> o.degraded | None -> false);
     rung = (match outcome with Some o -> o.rung | None -> 0);
     attempt_log = List.rev !log;
+    opt_passes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -198,10 +215,11 @@ let crashed_placeholder key =
     degraded = false;
     rung = 0;
     attempt_log = [ { n = 1; failure = "worker domain crashed"; backoff = 0. } ];
+    opt_passes = [];
   }
 
 let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) ?(backoff = 0.05)
-    ?budget keys =
+    ?budget ?(optimize = false) keys =
   let counters = Store.fresh_counters () in
   (* Crash recovery before the first lookup: roll back torn temp
      directories and re-quarantine structurally broken entries a crashed
@@ -230,6 +248,7 @@ let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) ?(backoff = 0.05)
               degraded = false;
               rung = 0;
               attempt_log = [];
+              opt_passes = [];
             }
       in
       match root with
@@ -256,7 +275,8 @@ let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) ?(backoff = 0.05)
         let i = pending.(j) in
         if Fault.fire Fault.Scheduler_worker_crash then
           raise (Fault.Injected Fault.Scheduler_worker_crash);
-        results.(i) <- Some (run_one ~timeout ~retries ~backoff ~budget keys.(i));
+        results.(i) <-
+          Some (run_one ~optimize ~timeout ~retries ~backoff ~budget keys.(i));
         loop ()
       end
     in
@@ -277,11 +297,31 @@ let run_batch ?root ?(workers = 2) ?timeout ?(retries = 1) ?(backoff = 0.05)
            | None -> crashed_placeholder keys.(i)
            | Some r ->
                (match (root, r.status, r.search) with
-               | Some root, Synthesized, Some search -> (
-                   match
-                     Store.insert ~counters ~degraded:r.degraded ~root keys.(i)
-                       search
-                   with
+               | Some root, Synthesized, Some search ->
+                   (* When the optimizer rewrote the kernel, store the
+                      rewrite and record where it came from; the search's
+                      raw program is recoverable via the digest. *)
+                   let provenance, search =
+                     match (r.program, search.Search.programs) with
+                     | Some p, orig :: rest
+                       when r.opt_passes <> []
+                            && not (Isa.Program.equal p orig) ->
+                         let cfg = Key.config keys.(i) in
+                         ( Some
+                             {
+                               Store.optimized_from =
+                                 Digest.to_hex
+                                   (Digest.string
+                                      (Isa.Program.to_string cfg orig));
+                               passes = r.opt_passes;
+                             },
+                           { search with Search.programs = p :: rest } )
+                     | _ -> (None, search)
+                   in
+                   (match
+                      Store.insert ~counters ~degraded:r.degraded ?provenance
+                        ~root keys.(i) search
+                    with
                    | Ok _ -> ()
                    | Error _ -> ())
                | _ -> ());
@@ -328,6 +368,13 @@ let batch_json batch =
          ("rung", Json.Int r.rung);
          ("attempt_log", Json.Arr (List.map attempt r.attempt_log));
        ]
+      @ (match r.opt_passes with
+        | [] -> []
+        | passes ->
+            [
+              ( "opt_passes",
+                Json.Arr (List.map (fun s -> Json.Str s) passes) );
+            ])
       @
       match r.status with
       | (Failed _ | Exhausted _ | Crashed) as s ->

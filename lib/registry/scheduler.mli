@@ -56,6 +56,12 @@ type job_result = {
   attempt_log : attempt list;
       (** Failed attempts, oldest first; empty when the first attempt
           succeeded or the job was served from cache. *)
+  opt_passes : string list;
+      (** Certified optimizer passes applied after synthesis (in
+          application order, {!Opt.Pipeline} delta names), when the batch
+          ran with [~optimize:true]; empty otherwise. When non-empty and
+          the kernel actually changed, the stored entry carries a
+          {!Store.provenance} record. *)
 }
 
 type batch = {
@@ -114,6 +120,7 @@ val run_batch :
   ?retries:int ->
   ?backoff:float ->
   ?budget:int ->
+  ?optimize:bool ->
   Key.t list ->
   batch
 (** [run_batch keys] with [root] set runs {!Store.recover} (crash
@@ -128,7 +135,14 @@ val run_batch :
     every job's {!run_key}. Workers never touch the store or the counters
     — both are updated on the main domain only. Never raises; a crashed
     worker yields a [Crashed] result for the job it held and the batch
-    still returns a result per job, in input order. *)
+    still returns a result per job, in input order.
+
+    With [~optimize:true] every freshly synthesized (and certified)
+    kernel is additionally run through the proof-carrying optimizer
+    pipeline ({!Opt.Pipeline.run}) inside the worker; the stored program
+    is the optimized one, with the applied pass list in [opt_passes] and
+    the original's digest recorded as {!Store.provenance}. Cache hits are
+    served as stored. *)
 
 val status_string : status -> string
 (** Lower-case JSON tag: ["cached"], ["synthesized"], ["timed_out"],

@@ -29,6 +29,8 @@ let counters_json c =
          ("recovered", Json.Int c.recovered);
        ])
 
+type provenance = { optimized_from : string; passes : string list }
+
 type entry = {
   key : Key.t;
   program : Isa.Program.t;
@@ -38,6 +40,7 @@ type entry = {
   elapsed : float;
   predicted_cost : float;
   degraded : bool;
+  provenance : provenance option;
 }
 
 type lookup = Hit of entry | Miss | Quarantined of string
@@ -103,17 +106,28 @@ let rec remove_tree path =
 
 let meta_json key (e : entry) =
   Json.Obj
-    [
-      ("format", Json.Int format_version);
-      ("canonical", Json.Str (Key.canonical key));
-      ("key", Key.to_json key);
-      ("length", Json.Int e.length);
-      ("solution_count", Json.Int e.solution_count);
-      ("expanded", Json.Int e.expanded);
-      ("elapsed_s", Json.Float e.elapsed);
-      ("predicted_cost", Json.Float e.predicted_cost);
-      ("degraded", Json.Bool e.degraded);
-    ]
+    ([
+       ("format", Json.Int format_version);
+       ("canonical", Json.Str (Key.canonical key));
+       ("key", Key.to_json key);
+       ("length", Json.Int e.length);
+       ("solution_count", Json.Int e.solution_count);
+       ("expanded", Json.Int e.expanded);
+       ("elapsed_s", Json.Float e.elapsed);
+       ("predicted_cost", Json.Float e.predicted_cost);
+       ("degraded", Json.Bool e.degraded);
+     ]
+    @
+    (* Optimizer provenance, present only on entries the pipeline
+       rewrote: the digest of the pre-optimization kernel text and the
+       certified passes that were applied, in order. *)
+    match e.provenance with
+    | None -> []
+    | Some p ->
+        [
+          ("optimized_from", Json.Str p.optimized_from);
+          ("opt_passes", Json.Arr (List.map (fun s -> Json.Str s) p.passes));
+        ])
 
 let ( let* ) = Result.bind
 
@@ -152,7 +166,30 @@ let parse_meta src =
       if degraded then
         Error "entry is flagged degraded (non-optimal); refusing to serve"
       else
-        Ok (key, length, solution_count, expanded, elapsed, predicted_cost)
+        (* Optimizer provenance: optional, format-1 compatible. *)
+        let* provenance =
+          match Json.member "optimized_from" j with
+          | None -> Ok None
+          | Some v ->
+              let* optimized_from = Json.to_str v in
+              let* passes =
+                match Json.member "opt_passes" j with
+                | None -> Ok []
+                | Some a ->
+                    let* items = Json.to_list a in
+                    List.fold_left
+                      (fun acc item ->
+                        let* acc = acc in
+                        let* s = Json.to_str item in
+                        Ok (s :: acc))
+                      (Ok []) items
+                    |> Result.map List.rev
+              in
+              Ok (Some { optimized_from; passes })
+        in
+        Ok
+          (key, length, solution_count, expanded, elapsed, predicted_cost,
+           provenance)
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine.                                                         *)
@@ -182,7 +219,8 @@ let load ~root hash =
     try Ok (read_file (dir / "meta.json"))
     with Sys_error m -> Error (Printf.sprintf "unreadable meta.json: %s" m)
   in
-  let* key, length, solution_count, expanded, elapsed, predicted_cost =
+  let* key, length, solution_count, expanded, elapsed, predicted_cost, provenance
+      =
     parse_meta meta_src
   in
   if Key.hash key <> hash then
@@ -209,6 +247,7 @@ let load ~root hash =
           elapsed;
           predicted_cost;
           degraded = false;
+          provenance;
         }
 
 let load_unverified ~root hash =
@@ -249,7 +288,8 @@ let lookup ?counters ~root key =
 (* ------------------------------------------------------------------ *)
 (* Insert.                                                             *)
 
-let insert ?counters ?(degraded = false) ~root key (r : Search.result) =
+let insert ?counters ?(degraded = false) ?provenance ~root key
+    (r : Search.result) =
   if degraded then
     Error
       "refusing to store a degraded (non-optimality-preserving) result in \
@@ -270,6 +310,7 @@ let insert ?counters ?(degraded = false) ~root key (r : Search.result) =
             elapsed = r.Search.stats.Search.elapsed;
             predicted_cost = Perf.Cost.predicted_cost cfg program;
             degraded = false;
+            provenance;
           }
         in
         let hash = Key.hash key in
@@ -411,16 +452,64 @@ let verify_all ?counters ?(lint = false) ~root () =
           (hash, Error reason))
     (list_hashes ~root)
 
-let gc ~root =
-  let checked = verify_all ~root () in
-  let kept = List.length (List.filter (fun (_, r) -> Result.is_ok r) checked) in
+type gc_report = {
+  kept : int;
+  purged : int;
+  reclaimed_bytes : int;
+  victims : string list;
+}
+
+let rec tree_size path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc f -> acc + tree_size (path / f))
+      0 (Sys.readdir path)
+  else (Unix.stat path).Unix.st_size
+
+let gc ?(dry_run = false) ~root () =
   let q = quarantine_dir root in
-  let purged =
+  if dry_run then begin
+    (* Read-only preview: nothing is quarantined, moved, or deleted. An
+       entry that fails certification would be quarantined and then
+       purged by a real run, so it counts as a victim alongside whatever
+       already sits in quarantine. *)
+    let entries =
+      List.map (fun hash -> (hash, Result.is_ok (certified ~root hash)))
+        (list_hashes ~root)
+    in
+    let kept = List.length (List.filter snd entries) in
+    let failing =
+      List.filter_map (fun (h, ok) -> if ok then None else Some h) entries
+    in
+    let quarantined =
+      if Sys.file_exists q then List.sort compare (Array.to_list (Sys.readdir q))
+      else []
+    in
+    let victims =
+      List.map (fun h -> "store/" ^ h) failing
+      @ List.map (fun h -> "quarantine/" ^ h) quarantined
+    in
+    let reclaimed_bytes =
+      List.fold_left (fun acc h -> acc + tree_size (store_dir root / h)) 0 failing
+      + List.fold_left
+          (fun acc h -> acc + tree_size (q / h))
+          0 quarantined
+    in
+    { kept; purged = List.length victims; reclaimed_bytes; victims }
+  end
+  else begin
+    let checked = verify_all ~root () in
+    let kept =
+      List.length (List.filter (fun (_, r) -> Result.is_ok r) checked)
+    in
     if Sys.file_exists q then begin
-      let n = Array.length (Sys.readdir q) in
+      let victims =
+        List.sort compare (Array.to_list (Sys.readdir q))
+        |> List.map (fun h -> "quarantine/" ^ h)
+      in
+      let reclaimed_bytes = tree_size q in
       remove_tree q;
-      n
+      { kept; purged = List.length victims; reclaimed_bytes; victims }
     end
-    else 0
-  in
-  (kept, purged)
+    else { kept; purged = 0; reclaimed_bytes = 0; victims = [] }
+  end

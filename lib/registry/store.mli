@@ -46,6 +46,17 @@ val counters_json : counters -> string
 (** Pre-rendered JSON object, e.g. [{"hits":1,"misses":0,...}] — the value
     handed to {!Search.Stats.to_json}'s [extra] field. *)
 
+type provenance = {
+  optimized_from : string;
+      (** MD5 digest (hex) of the pre-optimization kernel text. *)
+  passes : string list;
+      (** Certified optimizer passes applied, in application order
+          ({!Opt.Pipeline} delta names; a pass can appear more than
+          once). *)
+}
+(** Recorded in [meta.json] when the stored kernel is not the raw search
+    output but the optimizer pipeline's rewrite of it. *)
+
 type entry = {
   key : Key.t;
   program : Isa.Program.t;
@@ -58,6 +69,9 @@ type entry = {
       (** Always [false] for servable entries: degraded results are
           refused at insert and quarantined on load. The field exists so
           the flag is explicit in every [meta.json]. *)
+  provenance : provenance option;
+      (** [None] for kernels stored as synthesized (including every
+          format-1 entry written before the optimizer existed). *)
 }
 
 type lookup = Hit of entry | Miss | Quarantined of string
@@ -76,6 +90,7 @@ val lookup : ?counters:counters -> root:string -> Key.t -> lookup
 val insert :
   ?counters:counters ->
   ?degraded:bool ->
+  ?provenance:provenance ->
   root:string ->
   Key.t ->
   Search.result ->
@@ -129,7 +144,23 @@ val verify_all :
 
 val quarantine_count : root:string -> int
 
-val gc : root:string -> int * int
-(** [gc ~root] re-certifies every entry, quarantining failures, then
-    deletes the whole quarantine area. Returns
-    [(entries_kept, entries_purged)]. *)
+type gc_report = {
+  kept : int;  (** Entries that certified and remain servable. *)
+  purged : int;  (** Quarantine directories removed (or listed, dry run). *)
+  reclaimed_bytes : int;
+      (** Total on-disk bytes of the removed directories (to-be-removed,
+          dry run): every file's size, recursively. *)
+  victims : string list;
+      (** What was (or would be) removed, root-relative
+          (["quarantine/<hash>"]; dry runs also list the
+          ["store/<hash>"] entries that would fail certification and be
+          swept). Sorted within each area. *)
+}
+
+val gc : ?dry_run:bool -> root:string -> unit -> gc_report
+(** [gc ~root ()] re-certifies every entry, quarantining failures, then
+    deletes the whole quarantine area and reports what was reclaimed.
+    With [~dry_run:true] nothing on disk is touched — not even the
+    quarantining that certification failures normally trigger: the
+    report lists the failing store entries and current quarantine
+    contents that a real run would remove, with their byte total. *)

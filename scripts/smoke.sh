@@ -3,9 +3,10 @@
 # search-stats JSON emitter end to end (the snapshot self-validates inside
 # bench/main.exe; a malformed snapshot exits non-zero and fails the smoke).
 #
-# SMOKE_ONLY=chaos skips the tier-1 sections and runs only the
-# fault-injection / crash-recovery section at the bottom (used by the CI
-# chaos job, which has already built and tested).
+# SMOKE_ONLY=chaos runs only the fault-injection / crash-recovery
+# section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section
+# (each used by the matching CI job, which has already built and tested).
+# The default runs everything.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,9 +56,20 @@ dune exec bin/synth.exe -- registry verify --lint --cache-dir "$reg" > /dev/null
 rm -rf "$reg" "$jobs"
 
 echo "== static analyzer lint gate =="
-# Every shipped example kernel must be lint-clean (exit 0, zero findings).
-dune exec bin/synth.exe -- lint examples/kernels/*.txt \
+# Every shipped example kernel must be lint-clean (exit 0, zero findings)
+# — except sort3_unopt.txt, the deliberately naive compilation that
+# exists to trip the redundant-cmp rule and feed the optimizer smoke.
+clean_examples="$(ls examples/kernels/*.txt | grep -v sort3_unopt)"
+dune exec bin/synth.exe -- lint $clean_examples \
   || { echo "example kernels are not lint-clean" >&2; exit 1; }
+unopt_lint="${TMPDIR:-/tmp}/sortsynth-unopt-lint.out"
+if dune exec bin/synth.exe -- lint examples/kernels/sort3_unopt.txt \
+    > "$unopt_lint" 2>&1; then
+  echo "lint accepted the deliberately redundant kernel" >&2; exit 1
+fi
+grep -q "redundant-cmp" "$unopt_lint" \
+  || { echo "lint did not flag the duplicated cmp as redundant-cmp" >&2; exit 1; }
+rm -f "$unopt_lint"
 # A deliberately padded kernel must trip the gate (exit 1) ...
 padded="${TMPDIR:-/tmp}/sortsynth-padded-smoke.txt"
 { cat examples/kernels/sort3.txt; printf 'mov s1 r1\ncmp r1 r2\n'; } > "$padded"
@@ -73,6 +85,57 @@ echo "$analysis" | grep -q '"certified":true' \
 rm -f "$padded"
 
 fi # SMOKE_ONLY guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "opt" ]; then
+
+echo "== proof-carrying optimizer: certify, equiv, refuse sabotage =="
+dune build bin/synth.exe
+optdir="${TMPDIR:-/tmp}/sortsynth-opt-smoke"
+rm -rf "$optdir"; mkdir -p "$optdir"
+for k in examples/kernels/*.txt; do
+  base="$(basename "$k")"
+  dune exec bin/synth.exe -- optimize "$k" -o "$optdir/$base" > /dev/null
+  # The optimized kernel must be lint-clean ...
+  dune exec bin/synth.exe -- lint "$optdir/$base" > /dev/null \
+    || { echo "optimized $base is not lint-clean" >&2; exit 1; }
+  # ... equivalent to its input on all n! permutations (equiv exit 0) ...
+  dune exec bin/synth.exe -- equiv "$k" "$optdir/$base" > /dev/null \
+    || { echo "optimized $base is not equivalent to its input" >&2; exit 1; }
+  # ... and no longer than the input.
+  in_len="$(grep -c . "$k")"
+  out_len="$(grep -c . "$optdir/$base")"
+  [ "$out_len" -le "$in_len" ] \
+    || { echo "optimized $base grew: $in_len -> $out_len lines" >&2; exit 1; }
+done
+# The naive compilation must strictly improve (the redundant cmp goes).
+in_len="$(grep -c . examples/kernels/sort3_unopt.txt)"
+out_len="$(grep -c . "$optdir/sort3_unopt.txt")"
+[ "$out_len" -lt "$in_len" ] \
+  || { echo "optimizer did not improve sort3_unopt.txt" >&2; exit 1; }
+# A sabotaged pass is refused, never silently applied: under the
+# opt.break_pass fault every proposal fails certification, so no delta
+# is recorded and the kernel survives byte-identical.
+dune exec bin/synth.exe -- optimize examples/kernels/sort2.txt \
+    --fault-plan 'seed=1;opt.break_pass=always' --json \
+  | grep -q '"deltas":\[\]' \
+  || { echo "sabotaged pass was not refused" >&2; exit 1; }
+# Typed equiv exit codes: 0 equivalent, 1 differ with a counterexample.
+dune exec bin/synth.exe -- equiv examples/kernels/sort3.txt \
+    "$optdir/sort3_unopt.txt" > /dev/null \
+  || { echo "equiv rejected two equivalent sort3 kernels" >&2; exit 1; }
+set +e
+differs="$(dune exec bin/synth.exe -- equiv examples/kernels/sort2.txt \
+    examples/kernels/sort3.txt 2> /dev/null)"
+code=$?
+set -e
+[ "$code" -eq 1 ] || { echo "equiv on differing kernels exited $code, want 1" >&2; exit 1; }
+echo "$differs" | grep -q "counterexample input" \
+  || { echo "equiv did not print a counterexample" >&2; exit 1; }
+rm -rf "$optdir"
+
+fi # SMOKE_ONLY=opt guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "chaos" ]; then
 
 echo "== chaos: torn insert, recovery, typed exit codes =="
 dune build bin/synth.exe
@@ -122,5 +185,7 @@ set -e
 echo "$crash_out" | grep -q "CRASHED" \
   || { echo "crashed batch did not report the crash" >&2; exit 1; }
 rm -rf "$reg" "$jobs"
+
+fi # SMOKE_ONLY=chaos guard
 
 echo "smoke ok"

@@ -94,14 +94,50 @@ let test_lint_orphan_cmov () =
 
 let test_lint_clobbered_cmp () =
   (* Two identical back-to-back cmps: the first one's flags are clobbered
-     before any consumer (dataflow), and the second is a semantic no-op
-     (re-deriving flags that are already exactly those). *)
+     before any consumer (dataflow), and the second re-compares an
+     unchanged operand pair (redundant-cmp, which as an Error suppresses
+     the semantic-noop finding on the same instruction). *)
   let p = parse cfg2 "mov s1 r1\ncmp r1 r2\ncmp r1 r2\ncmovg r1 r2\ncmovg r2 s1\n" in
   let fs = Analysis.Lint.check_all cfg2 p in
   check (Alcotest.list (Alcotest.pair rule (Alcotest.option Alcotest.int)))
     "clobbered cmp + redundant recompute"
-    [ (Analysis.Lint.Dead_cmp, Some 1); (Analysis.Lint.Semantic_noop, Some 2) ]
+    [ (Analysis.Lint.Dead_cmp, Some 1); (Analysis.Lint.Redundant_cmp, Some 2) ]
     (finding_coords fs)
+
+let test_lint_redundant_cmp () =
+  (* The golden redundant-cmp cases. A mov of an unrelated register between
+     the cmps does not break the pattern; a flag reader or a write to
+     either operand does. *)
+  let fire = parse cfg3 "cmp r1 r2\nmov s1 r3\ncmp r1 r2\ncmovg r1 r2\ncmovg r2 s1\n" in
+  let coords p = finding_coords (Analysis.Lint.check cfg3 p) in
+  check (Alcotest.list (Alcotest.pair rule (Alcotest.option Alcotest.int)))
+    "unrelated mov between the cmps still fires"
+    [ (Analysis.Lint.Redundant_cmp, Some 2) ]
+    (List.filter
+       (fun (r, _) -> r = Analysis.Lint.Redundant_cmp)
+       (coords fire));
+  (* An intervening cmov reads the flags (and may write an operand):
+     quiet. *)
+  let broken_by_cmov =
+    parse cfg3 "cmp r1 r2\ncmovg r1 r2\ncmp r1 r2\ncmovl r2 r1\nmov s1 r3\n"
+  in
+  check (Alcotest.list (Alcotest.pair rule (Alcotest.option Alcotest.int)))
+    "flag reader between the cmps breaks the pattern" []
+    (List.filter
+       (fun (r, _) -> r = Analysis.Lint.Redundant_cmp)
+       (coords broken_by_cmov));
+  (* A mov overwriting an operand invalidates the comparison: quiet. *)
+  let broken_by_write =
+    parse cfg3 "cmp r1 r2\nmov r1 r3\ncmp r1 r2\ncmovg r1 r2\ncmovg r2 r1\n"
+  in
+  check (Alcotest.list (Alcotest.pair rule (Alcotest.option Alcotest.int)))
+    "operand write between the cmps breaks the pattern" []
+    (List.filter
+       (fun (r, _) -> r = Analysis.Lint.Redundant_cmp)
+       (coords broken_by_write));
+  (* Stable identifier: scripts grep for it. *)
+  check Alcotest.string "rule id" "redundant-cmp"
+    (Analysis.Lint.rule_id Analysis.Lint.Redundant_cmp)
 
 let test_lint_uninit_scratch () =
   (* Comparing r2 against never-written s1 compares against the constant 0,
@@ -305,6 +341,7 @@ let () =
           Alcotest.test_case "dead mov" `Quick test_lint_dead_mov;
           Alcotest.test_case "orphan cmov" `Quick test_lint_orphan_cmov;
           Alcotest.test_case "clobbered cmp" `Quick test_lint_clobbered_cmp;
+          Alcotest.test_case "redundant cmp" `Quick test_lint_redundant_cmp;
           Alcotest.test_case "uninit scratch" `Quick test_lint_uninit_scratch;
           Alcotest.test_case "not sorting" `Quick test_lint_not_sorting;
           Alcotest.test_case "json" `Quick test_lint_json;

@@ -249,9 +249,30 @@ let test_store_verify_gc () =
   check Alcotest.int "checked both" 2 (List.length checked);
   check Alcotest.int "one bad" 1
     (List.length (List.filter (fun (_, r) -> Result.is_error r) checked));
-  let kept, purged = Registry.Store.gc ~root in
-  check Alcotest.int "kept" 1 kept;
-  check Alcotest.int "purged" 1 purged;
+  (* Dry run first: reports the victims and reclaimable bytes but leaves
+     the store alone — not even a quarantining side effect. *)
+  let dry = Registry.Store.gc ~dry_run:true ~root () in
+  check Alcotest.int "dry kept" 1 dry.Registry.Store.kept;
+  check Alcotest.int "dry purged" 1 dry.Registry.Store.purged;
+  check Alcotest.bool "dry reclaimable bytes" true
+    (dry.Registry.Store.reclaimed_bytes > 0);
+  (* verify_all above already quarantined the corrupt entry; the dry run
+     must leave both areas exactly as it found them. *)
+  check Alcotest.int "dry run leaves quarantine alone" 1
+    (Registry.Store.quarantine_count ~root);
+  check Alcotest.int "dry run removes nothing" 1
+    (List.length (Registry.Store.list_hashes ~root));
+  (match dry.Registry.Store.victims with
+  | [ v ] ->
+      check Alcotest.bool "victim is the quarantined entry" true
+        (String.length v > 11 && String.sub v 0 11 = "quarantine/")
+  | _ -> Alcotest.fail "expected exactly one dry-run victim");
+  let report = Registry.Store.gc ~root () in
+  check Alcotest.int "kept" 1 report.Registry.Store.kept;
+  check Alcotest.int "purged" 1 report.Registry.Store.purged;
+  check Alcotest.bool "reclaimed bytes" true
+    (report.Registry.Store.reclaimed_bytes > 0);
+  check Alcotest.int "one victim" 1 (List.length report.Registry.Store.victims);
   check Alcotest.int "quarantine emptied" 0 (Registry.Store.quarantine_count ~root)
 
 (* ------------------------------------------------------------------ *)
