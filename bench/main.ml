@@ -228,6 +228,273 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* ------------------------------------------------------------------ *)
+(* Search micro-benchmarks: the per-PR perf trajectory (BENCH_search.json).
+
+   `--bench-search [FILE]` measures states/sec and time-to-optimal for the
+   n = 3, 4, 5 searches and appends one history entry to FILE (creating it
+   if absent); `--check BASELINE` additionally compares the fresh
+   measurement against the last committed entry and exits non-zero on a
+   states/sec regression beyond the tolerance (default 20%). The n = 3 and
+   n = 4 rows are the paper's best-config find-first synthesis (the
+   optimality artifact is the kernel); the n = 5 row is a bounded
+   level-synchronous sweep whose artifact is a lower-bound certificate
+   ("no kernel of length <= depth"), since a full n = 5 optimal search is a
+   minutes-to-hours job (PAPER.md section 6). *)
+
+type bench_row = {
+  bench : string;
+  bn : int;
+  states_per_sec : float;
+  time_to_optimal_s : float;
+  generated : int;
+  expanded : int;
+  optimal_length : int option;
+}
+
+let n5_sweep_depth = 4
+
+let bench_search_specs =
+  [
+    ( "n3-best-astar",
+      3,
+      fun () -> Search.run ~opts:Search.best (Isa.Config.default 3) );
+    ( "n4-best-astar",
+      4,
+      fun () -> Search.run ~opts:Search.best (Isa.Config.default 4) );
+    ( "n5-bounded-level",
+      5,
+      fun () ->
+        (* Lower-bound sweep: exhaust every program of length <= depth
+           (only the optimality-safe erasure check prunes), certifying
+           "no n=5 kernel of length <= depth". A full n=5 optimal search
+           is a minutes-to-hours job, so this is the n=5 row's
+           deterministic, CI-sized stand-in — and its 120-code states
+           make it the most representation-sensitive of the three. *)
+        let opts =
+          {
+            Search.default with
+            Search.engine = Search.Level_sync;
+            dist_viability = false;
+            cut = Search.No_cut;
+          }
+        in
+        Search.run_mode ~opts ~mode:(Search.Prove_none n5_sweep_depth)
+          (Isa.Config.default 5) );
+  ]
+
+let bench_repeats () =
+  match Sys.getenv_opt "BENCH_REPEATS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let run_bench_row (bench, bn, runit) =
+  (* Warm the process-wide distance cache so the first repeat is not
+     charged for table precomputation the others skip. *)
+  ignore (Distance.compute_cached (Isa.Config.default bn));
+  let best = ref None in
+  for _ = 1 to bench_repeats () do
+    let r = runit () in
+    let s = r.Search.stats in
+    let sps =
+      if s.Search.elapsed > 0. then
+        float_of_int s.Search.generated /. s.Search.elapsed
+      else 0.
+    in
+    match !best with
+    | Some (b, _) when b.states_per_sec >= sps -> ()
+    | _ ->
+        best :=
+          Some
+            ( {
+                bench;
+                bn;
+                states_per_sec = sps;
+                time_to_optimal_s = s.Search.elapsed;
+                generated = s.Search.generated;
+                expanded = s.Search.expanded;
+                optimal_length = r.Search.optimal_length;
+              },
+              r )
+  done;
+  match !best with Some (b, _) -> b | None -> assert false
+
+let bench_row_json b =
+  Registry.Json.Obj
+    [
+      ("bench", Registry.Json.Str b.bench);
+      ("n", Registry.Json.Int b.bn);
+      ("states_per_sec", Registry.Json.Float b.states_per_sec);
+      ("time_to_optimal_s", Registry.Json.Float b.time_to_optimal_s);
+      ("generated", Registry.Json.Int b.generated);
+      ("expanded", Registry.Json.Int b.expanded);
+      ( "optimal_length",
+        match b.optimal_length with
+        | Some l -> Registry.Json.Int l
+        | None -> Registry.Json.Null );
+    ]
+
+let bench_entry_json ~rev rows =
+  Registry.Json.Obj
+    [
+      ("rev", Registry.Json.Str rev);
+      ("n5_sweep_depth", Registry.Json.Int n5_sweep_depth);
+      ("entries", Registry.Json.Arr (List.map bench_row_json rows));
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The committed trajectory: { "schema": ..., "history": [entry; ...] }. *)
+let load_history path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match Registry.Json.parse (read_file path) with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+        match Registry.Json.member "history" j with
+        | Some (Registry.Json.Arr h) -> Ok h
+        | _ -> Error (Printf.sprintf "%s: no \"history\" array" path))
+
+let row_of_json j =
+  let str k = Registry.Json.(member k j |> Option.map to_str) in
+  let num k =
+    match Registry.Json.member k j with
+    | Some v -> (
+        match Registry.Json.to_float v with Ok f -> Some f | Error _ -> None)
+    | None -> None
+  in
+  match (str "bench", num "states_per_sec") with
+  | Some (Ok bench), Some sps -> Some (bench, sps)
+  | _ -> None
+
+let last_entry_rows = function
+  | [] -> []
+  | history -> (
+      match List.nth history (List.length history - 1) with
+      | Registry.Json.Obj _ as e -> (
+          match Registry.Json.member "entries" e with
+          | Some (Registry.Json.Arr rows) -> List.filter_map row_of_json rows
+          | _ -> [])
+      | _ -> [])
+
+let bench_search ~out ~rev ~check ~tolerance =
+  let rows = List.map run_bench_row bench_search_specs in
+  Printf.printf "%-18s %3s %15s %12s %10s %8s\n" "bench" "n" "states/sec"
+    "t-optimal s" "generated" "length";
+  List.iter
+    (fun b ->
+      Printf.printf "%-18s %3d %15.0f %12.4f %10d %8s\n" b.bench b.bn
+        b.states_per_sec b.time_to_optimal_s b.generated
+        (match b.optimal_length with
+        | Some l -> string_of_int l
+        | None -> "-"))
+    rows;
+  (* Sanity: the synthesis rows must land the known optima. *)
+  List.iter
+    (fun b ->
+      match (b.bench, b.optimal_length) with
+      | "n3-best-astar", l when l <> Some 11 ->
+          prerr_endline "n=3 bench did not find the optimal length 11";
+          exit 1
+      | _ -> ())
+    rows;
+  let regressions =
+    match check with
+    | None -> []
+    | Some baseline -> (
+        match load_history baseline with
+        | Error e ->
+            Printf.eprintf "bench baseline unreadable: %s\n" e;
+            exit 1
+        | Ok history ->
+            let old = last_entry_rows history in
+            if old = [] then begin
+              Printf.eprintf "bench baseline %s has no entries\n" baseline;
+              exit 1
+            end;
+            List.filter_map
+              (fun b ->
+                match List.assoc_opt b.bench old with
+                | Some old_sps
+                  when b.states_per_sec < (1. -. tolerance) *. old_sps ->
+                    Some (b.bench, old_sps, b.states_per_sec)
+                | _ -> None)
+              rows)
+  in
+  List.iter
+    (fun (bench, old_sps, new_sps) ->
+      Printf.eprintf
+        "REGRESSION %s: %.0f -> %.0f states/sec (%.0f%% of baseline, \
+         tolerance %.0f%%)\n"
+        bench old_sps new_sps
+        (100. *. new_sps /. old_sps)
+        (100. *. (1. -. tolerance)))
+    regressions;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let history =
+        match load_history path with
+        | Ok h -> h
+        | Error e ->
+            Printf.eprintf "cannot append to %s: %s\n" path e;
+            exit 1
+      in
+      let json =
+        Registry.Json.Obj
+          [
+            ("schema", Registry.Json.Str "sortsynth-bench-search/v1");
+            ( "history",
+              Registry.Json.Arr (history @ [ bench_entry_json ~rev rows ]) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Registry.Json.to_string json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s (%d history entries)\n" path
+        (List.length history + 1));
+  if regressions <> [] then exit 1
+
+let bench_search_cli rest =
+  let out = ref None
+  and rev = ref "local"
+  and check = ref None
+  and tolerance = ref 0.2 in
+  let rec parse = function
+    | [] -> ()
+    | "--rev" :: v :: tl ->
+        rev := v;
+        parse tl
+    | "--check" :: v :: tl ->
+        check := Some v;
+        parse tl
+    | "--tolerance" :: v :: tl ->
+        (try tolerance := float_of_string v
+         with _ ->
+           prerr_endline "bad --tolerance";
+           exit 2);
+        parse tl
+    | v :: tl when v = "-" || (v <> "" && v.[0] <> '-') ->
+        out := Some v;
+        parse tl
+    | v :: _ ->
+        Printf.eprintf
+          "unknown bench-search option %s\n\
+           usage: main.exe --bench-search [FILE] [--rev NAME] [--check \
+           BASELINE] [--tolerance T]\n"
+          v;
+        exit 2
+  in
+  parse rest;
+  let out = match !out with Some "-" -> None | o -> o in
+  bench_search ~out ~rev:!rev ~check:!check ~tolerance:!tolerance
+
 (* --stats-json [FILE|-]: skip the Bechamel run and dump a machine-readable
    search-stats snapshot instead — one JSON object per representative
    engine run (A*, level-sync enumeration, parallel), self-validated
@@ -261,6 +528,7 @@ let stats_snapshot () =
 
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--bench-search" :: rest -> bench_search_cli rest
   | _ :: "--stats-json" :: rest -> (
       let json = stats_snapshot () in
       match rest with

@@ -256,9 +256,12 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
               exit exit_timeout
           | exception Search.Resource_exhausted { live; budget } ->
               Printf.eprintf
-                "synth: state budget exhausted: %d live states over budget %d \
-                 (even at the final degradation rung)\n"
-                live budget;
+                "synth: state budget exhausted: %d live states%s (even at \
+                 the final degradation rung)\n"
+                live
+                (match budget with
+                | Some b -> Printf.sprintf " over budget %d" b
+                | None -> ", no budget configured");
               exit exit_exhausted
         in
         let r = outcome.Registry.Scheduler.result in
@@ -520,9 +523,11 @@ let run_batch jobs_file workers timeout retries backoff budget no_cache
             | Exhausted { live; budget } ->
                 incr exhausted;
                 ( "EXHAUSTED",
-                  Printf.sprintf ": %d live states over budget %d after %d \
-                                  attempts"
-                    live budget r.attempts )
+                  Printf.sprintf ": %d live states%s after %d attempts" live
+                    (match budget with
+                    | Some b -> Printf.sprintf " over budget %d" b
+                    | None -> " (no budget configured)")
+                    r.attempts )
             | Crashed ->
                 incr other;
                 ("CRASHED", ": worker domain died; job isolated")

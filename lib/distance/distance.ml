@@ -88,7 +88,16 @@ let dist t c =
   | d -> d
 
 let state_lower_bound t s =
-  Array.fold_left (fun acc c -> max acc (dist t c)) 0 (Sstate.codes s)
+  (* The bound is queried for the same state by vetting, the Dist_bound
+     heuristic, and the action filter; cache it on the state. (States are
+     built for one machine configuration, so one cache slot suffices.) *)
+  let cached = Sstate.lb_cache s in
+  if cached >= 0 then cached
+  else begin
+    let lb = Sstate.fold (fun acc c -> max acc (dist t c)) 0 s in
+    Sstate.set_lb_cache s lb;
+    lb
+  end
 
 let reachable_count t = Array.length t.reachable
 let max_finite_dist t = t.max_finite
@@ -106,10 +115,10 @@ let optimal_actions t instrs s =
   let marks =
     Array.map (fun i -> i.Isa.Instr.op = Isa.Instr.Cmp) instrs
   in
-  Array.iter
+  Sstate.iter
     (fun c ->
       Array.iteri
         (fun k i -> if (not marks.(k)) && is_optimal_action t i c then marks.(k) <- true)
         instrs)
-    (Sstate.codes s);
+    s;
   marks

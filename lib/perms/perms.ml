@@ -60,6 +60,15 @@ let all n =
   done;
   List.rev !acc
 
+let iter n f =
+  if n < 0 then invalid_arg "Perms.iter: negative";
+  if n > 10 then invalid_arg "Perms.iter: n too large";
+  let a = Array.init n (fun i -> i + 1) in
+  f a;
+  while next_in_place a do
+    f a
+  done
+
 let rank p =
   if not (is_permutation p) then invalid_arg "Perms.rank: not a permutation";
   let n = Array.length p in

@@ -15,6 +15,12 @@ val all : int -> int array list
     [all 0] is [[ [||] ]]. Raises [Invalid_argument] for [n < 0] or [n > 10]
     (guard against accidental exponential blowups). *)
 
+val iter : int -> (int array -> unit) -> unit
+(** [iter n f] calls [f] on every permutation of [1; ...; n] in
+    lexicographic order, reusing one scratch array: [f] must not retain or
+    mutate its argument. Allocation-free counterpart of {!all} for
+    enumeration-heavy callers. Same bounds as {!all}. *)
+
 val is_sorted : int array -> bool
 (** [is_sorted a] is true iff [a] is weakly ascending. *)
 

@@ -2,7 +2,7 @@ type status =
   | Cached
   | Synthesized
   | Timed_out
-  | Exhausted of { live : int; budget : int }
+  | Exhausted of { live : int; budget : int option }
   | Crashed
   | Failed of string
 
@@ -113,9 +113,16 @@ let parse_jobs src =
 
 let failure_string = function
   | Timed_out -> "timeout"
-  | Exhausted { live; budget } ->
-      Printf.sprintf "resource exhausted: %d live states over budget %d" live
-        budget
+  | Exhausted { live; budget } -> (
+      match budget with
+      | Some b ->
+          Printf.sprintf "resource exhausted: %d live states over budget %d"
+            live b
+      | None ->
+          Printf.sprintf
+            "resource exhausted: %d live states (no budget configured; \
+             alloc-budget fault site fired)"
+            live)
   | Crashed -> "worker domain crashed"
   | Failed msg -> msg
   | Cached -> "cached"

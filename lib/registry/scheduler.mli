@@ -23,9 +23,11 @@ type status =
   | Cached  (** Served from the registry (verified on load). *)
   | Synthesized  (** Search ran and the kernel certified. *)
   | Timed_out  (** Every attempt hit the per-job deadline. *)
-  | Exhausted of { live : int; budget : int }
+  | Exhausted of { live : int; budget : int option }
       (** Every attempt exceeded the live-state budget even at the final
-          rung of the degradation ladder. *)
+          rung of the degradation ladder. [budget] is [None] when no
+          budget was configured (the exhaustion came from the
+          [search.alloc_budget] fault site). *)
   | Crashed
       (** The worker domain running this job died (an escaped exception
           or the [scheduler.worker_crash] fault site). Only this job is

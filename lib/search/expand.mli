@@ -10,13 +10,19 @@
     their open set; what counts as a successor, and what gets pruned, is
     decided here and nowhere else.
 
+    Successor generation runs through a per-domain {!Sstate.Arena}: each
+    candidate is probed in arena scratch (applied, canonicalized, hashed,
+    counted) and only survivors are committed to the heap, so pruned
+    successors allocate nothing.
+
     All pruning decisions are recorded in a {!delta} — a small mutable
     counter record private to the caller. Sequential engines pass one
     long-lived delta per level; the parallel engine gives each worker
-    domain a fresh delta and merges them after the join, so the prune
-    counters are exact under parallel execution too. [expand] touches no
-    shared mutable state: [env] is read-only, which is what makes the
-    core safe to call from multiple domains at once. *)
+    domain a fresh delta and merges them after the level drains, so the
+    prune counters are exact under parallel execution too. [expand]
+    touches no shared mutable state: [env] is read-only and the arena is
+    the caller's own, which is what makes the core safe to call from
+    multiple domains at once. *)
 
 type heuristic = No_heuristic | Perm_count | Assign_count | Dist_bound
 type cut = No_cut | Mult of float | Add of int
@@ -40,14 +46,15 @@ type options = {
 (** See {!Search.options} for field documentation; [Search.options] is an
     alias of this type. *)
 
-exception Resource_exhausted of { live : int; budget : int }
+exception Resource_exhausted of { live : int; budget : int option }
 (** The typed "out of memory budget" signal: the number of live search
-    states exceeded [options.state_budget] (or the [search.alloc_budget]
-    fault site fired). Raised from {!check_budget} — the shared chokepoint
-    all engines call once per expanded node — so every engine reports
-    exhaustion the same way. Callers that can degrade (the scheduler's
-    ladder) catch this and retry with a more aggressive cut; nothing else
-    should swallow it. *)
+    states exceeded [options.state_budget], or the [search.alloc_budget]
+    fault site fired — in which case [budget] is whatever was configured,
+    [None] when no budget was set (no sentinel values leak into reports).
+    Raised from {!check_budget} — the shared chokepoint all engines call
+    once per expanded node — so every engine reports exhaustion the same
+    way. Callers that can degrade (the scheduler's ladder) catch this and
+    retry with a more aggressive cut; nothing else should swallow it. *)
 
 val check_budget : options -> live:int -> unit
 (** [check_budget opts ~live] raises {!Resource_exhausted} when [live]
@@ -60,12 +67,19 @@ val needs_distance : options -> bool
 
 type delta = {
   mutable generated : int;  (** Successor states built (finals included). *)
+  mutable kept : int;
+      (** Non-final successors that survived every vetting stage. *)
+  mutable finals : int;  (** Final (sorted-everywhere) successors. *)
   mutable pruned_cut : int;
   mutable pruned_viability : int;
   mutable pruned_bound : int;
 }
-(** Per-call expansion statistics. Never shared between domains: each
-    worker owns its delta and the owner merges with {!merge_delta}. *)
+(** Per-call expansion statistics. The vetting stages are mutually
+    exclusive — each generated successor lands in exactly one bucket — so
+    [generated = kept + finals + pruned_cut + pruned_viability +
+    pruned_bound] holds for every delta (and, summed, per level and per
+    run). Never shared between domains: each worker owns its delta and the
+    owner merges with {!merge_delta}. *)
 
 val zero_delta : unit -> delta
 
@@ -95,16 +109,28 @@ type succ = {
 
 val cut_threshold : options -> min_pc:int -> int
 (** Threshold on the distinct-permutation count for states generated from a
-    level whose minimum count is [min_pc]; [max_int] means no cut. *)
+    level whose minimum count is [min_pc]; [max_int] means no cut. [Mult k]
+    rounds [k * min_pc] to the nearest integer (never truncates) and is
+    clamped to at least [min_pc], so ties with the intended threshold are
+    kept. *)
 
 val actions : env -> Sstate.t -> Isa.Instr.t array
 (** The instructions to try from a state, after the action filter. *)
 
-val expand : env -> delta -> g':int -> threshold:int -> Sstate.t -> succ list
-(** [expand env delta ~g' ~threshold state] generates and vets every
+val expand :
+  env ->
+  Sstate.Arena.arena ->
+  delta ->
+  g':int ->
+  threshold:int ->
+  Sstate.t ->
+  succ list
+(** [expand env arena delta ~g' ~threshold state] generates and vets every
     successor of [state] at depth [g']. Final states are always kept (they
     bypass vetting, like in every engine); non-final successors survive
     only if they pass the erasure check, distance viability, the length
-    bound, and the cut [threshold]. Counters for generated and pruned
-    successors accumulate in [delta]. Successors are returned in
-    instruction order, so the result is deterministic for a fixed [env]. *)
+    bound, and the cut [threshold]. Counters for generated, kept, final
+    and pruned successors accumulate in [delta]. Successors are returned
+    in instruction order, so the result is deterministic for a fixed
+    [env]. The arena must be private to the calling domain; survivors are
+    committed into it and remain valid indefinitely. *)

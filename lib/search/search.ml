@@ -68,6 +68,8 @@ type level_stat = Stats.level_stat = {
   depth : int;
   nodes_expanded : int;
   succs_generated : int;
+  succs_kept : int;
+  finals_found : int;
   succs_deduped : int;
   cut_pruned : int;
   viability_pruned : int;
@@ -231,6 +233,8 @@ let finish ctx ~programs ~optimal_length ~solution_count ~distinct_final_states
           depth = i;
           nodes_expanded = a.a_expanded;
           succs_generated = a.d.Expand.generated;
+          succs_kept = a.d.Expand.kept;
+          finals_found = a.d.Expand.finals;
           succs_deduped = a.a_deduped;
           cut_pruned = a.d.Expand.pruned_cut;
           viability_pruned = a.d.Expand.pruned_viability;
@@ -264,21 +268,166 @@ let trivial_final ctx =
     ~distinct_final_states:1 ~open_states:0
 
 (* ------------------------------------------------------------------ *)
-(* Level-synchronous engine (Dijkstra order; exact cuts; all-solutions
-   enumeration and non-existence proofs). With [domains > 1] each level's
-   states are expanded by that many worker domains — successor generation
-   and all vetting run in the workers through the shared expansion core,
-   each with a private stat delta; the merge into the next level's dedup
-   table (and the delta merge) stays sequential, so the two paths perform
-   the exact same merges in the exact same order. *)
+(* Persistent domain pool with a work-stealing shared frontier.
 
-let run_level ctx ~domains mode =
+   The pool is spawned once per search and parked on a condition variable
+   between levels — no per-level [Domain.spawn]/[Domain.join] churn. Each
+   level publishes one job: the frontier as a node array plus an atomic
+   cursor. Workers (and the main domain, which participates) repeatedly
+   claim the next unclaimed node index and expand it through the shared
+   core into a results slot private to that node, with a per-domain delta
+   and a per-domain arena — so the drain order is load-balanced and
+   nondeterministic, but the merge (performed by main, in node index
+   order, after the whole level has drained) is exactly the sequential
+   engine's merge. Delta sums are commutative, so the totals are
+   independent of both the worker count and the steal schedule. *)
+
+type wjob = {
+  j_env : Expand.env;
+  j_nodes : node array;
+  j_g : int;  (* successor depth g' *)
+  j_threshold : int;
+  j_cursor : int Atomic.t;  (* next unclaimed node index *)
+  j_results : Expand.succ list array;  (* slot per node *)
+  j_deltas : Expand.delta array;  (* slot 0 = main, slot w + 1 = worker w *)
+}
+
+type pool = {
+  p_arenas : Sstate.Arena.arena array;  (* one per worker *)
+  p_mutex : Mutex.t;
+  p_work : Condition.t;
+  p_finished : Condition.t;
+  mutable p_job : wjob option;
+  mutable p_epoch : int;
+  mutable p_active : int;
+  mutable p_stop : bool;
+  mutable p_exn : exn option;
+  mutable p_workers : unit Domain.t array;
+}
+
+let drain_job job arena delta =
+  let n = Array.length job.j_nodes in
+  let rec go () =
+    let i = Atomic.fetch_and_add job.j_cursor 1 in
+    if i < n then begin
+      job.j_results.(i) <-
+        Expand.expand job.j_env arena delta ~g':job.j_g
+          ~threshold:job.j_threshold job.j_nodes.(i).state;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop pool wid =
+  let arena = pool.p_arenas.(wid) in
+  let epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.p_mutex;
+    while pool.p_epoch = !epoch && not pool.p_stop do
+      Condition.wait pool.p_work pool.p_mutex
+    done;
+    if pool.p_stop then begin
+      Mutex.unlock pool.p_mutex;
+      running := false
+    end
+    else begin
+      epoch := pool.p_epoch;
+      let job = Option.get pool.p_job in
+      Mutex.unlock pool.p_mutex;
+      (* The core raises nothing under normal operation (fault sites live
+         on the main domain), but a worker that did die would deadlock the
+         level barrier — capture and re-raise from main instead. *)
+      let exn =
+        match drain_job job arena job.j_deltas.(wid + 1) with
+        | () -> None
+        | exception e -> Some e
+      in
+      Mutex.lock pool.p_mutex;
+      (match exn with
+      | Some e when pool.p_exn = None -> pool.p_exn <- Some e
+      | _ -> ());
+      pool.p_active <- pool.p_active - 1;
+      if pool.p_active = 0 then Condition.signal pool.p_finished;
+      Mutex.unlock pool.p_mutex
+    end
+  done
+
+let make_pool cfg ~workers =
+  let pool =
+    {
+      p_arenas = Array.init workers (fun _ -> Sstate.Arena.create cfg);
+      p_mutex = Mutex.create ();
+      p_work = Condition.create ();
+      p_finished = Condition.create ();
+      p_job = None;
+      p_epoch = 0;
+      p_active = 0;
+      p_stop = false;
+      p_exn = None;
+      p_workers = [||];
+    }
+  in
+  pool.p_workers <-
+    Array.init workers (fun w -> Domain.spawn (fun () -> worker_loop pool w));
+  pool
+
+let shutdown_pool pool =
+  Mutex.lock pool.p_mutex;
+  pool.p_stop <- true;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_mutex;
+  Array.iter Domain.join pool.p_workers
+
+let pool_run pool main_arena env nodes ~g' ~threshold =
+  let nw = Array.length pool.p_workers in
+  let job =
+    {
+      j_env = env;
+      j_nodes = nodes;
+      j_g = g';
+      j_threshold = threshold;
+      j_cursor = Atomic.make 0;
+      j_results = Array.make (Array.length nodes) [];
+      j_deltas = Array.init (nw + 1) (fun _ -> Expand.zero_delta ());
+    }
+  in
+  Mutex.lock pool.p_mutex;
+  pool.p_job <- Some job;
+  pool.p_epoch <- pool.p_epoch + 1;
+  pool.p_active <- nw;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_mutex;
+  drain_job job main_arena job.j_deltas.(0);
+  Mutex.lock pool.p_mutex;
+  while pool.p_active > 0 do
+    Condition.wait pool.p_finished pool.p_mutex
+  done;
+  let exn = pool.p_exn in
+  pool.p_exn <- None;
+  pool.p_job <- None;
+  Mutex.unlock pool.p_mutex;
+  (match exn with Some e -> raise e | None -> ());
+  job
+
+(* ------------------------------------------------------------------ *)
+(* Level-synchronous engine (Dijkstra order; exact cuts; all-solutions
+   enumeration and non-existence proofs). With a pool, each level's
+   frontier is drained by the pool's workers plus the main domain through
+   the shared expansion core, each with a private stat delta and arena;
+   the merge into the next level's dedup table (and the delta merge)
+   stays sequential on main, in node index order, so the pooled and the
+   sequential path perform the exact same merges in the exact same
+   order. *)
+
+let run_level ctx ~pool mode =
   let env = ctx.env in
   let cfg = env.Expand.cfg in
   let opts = env.Expand.opts in
   let initial = Sstate.initial cfg in
   if Sstate.is_final cfg initial then trivial_final ctx
   else begin
+    let arena = Sstate.Arena.create cfg in
     let seen = Sstate.Tbl.create (1 lsl 16) in
     let root =
       { state = initial; g = 0; pc = perm_count ctx initial; paths = 1; parents = [] }
@@ -366,46 +515,24 @@ let run_level ctx ~domains mode =
         sample_trace ctx ~open_states:(Sstate.Tbl.length next);
         List.iter (fun s -> if not !stop then register node s) succs
       in
-      (if domains <= 1 then
-         List.iter
-           (fun n ->
-             if not !stop then
-               consume n (Expand.expand env a.d ~g' ~threshold n.state))
-           !current
-       else begin
-         let nodes = Array.of_list !current in
-         let n = Array.length nodes in
-         let nd = max 1 (min domains n) in
-         let chunk = (n + nd - 1) / nd in
-         let expand_chunk lo hi =
-           let d = Expand.zero_delta () in
-           let succs =
-             Array.init (hi - lo) (fun i ->
-                 Expand.expand env d ~g' ~threshold nodes.(lo + i).state)
-           in
-           (d, succs)
-         in
-         let handles =
-           List.init nd (fun k ->
-               let lo = k * chunk and hi = min n ((k + 1) * chunk) in
-               if k = 0 then `Here (lo, hi)
-               else `Domain (lo, Domain.spawn (fun () -> expand_chunk lo hi)))
-         in
-         let results =
-           List.map
-             (function
-               | `Here (lo, hi) -> (lo, expand_chunk lo hi)
-               | `Domain (lo, h) -> (lo, Domain.join h))
-             handles
-         in
-         List.iter
-           (fun (lo, (d, succs)) ->
-             Expand.merge_delta ~into:a.d d;
-             Array.iteri
-               (fun i ss -> if not !stop then consume nodes.(lo + i) ss)
-               succs)
-           results
-       end);
+      (match pool with
+      | None ->
+          List.iter
+            (fun n ->
+              if not !stop then
+                consume n (Expand.expand env arena a.d ~g' ~threshold n.state))
+            !current
+      | Some pool ->
+          let nodes = Array.of_list !current in
+          let job = pool_run pool arena env nodes ~g' ~threshold in
+          (* The whole level drained before this merge, so the counters
+             are independent of the worker count and steal schedule; only
+             [consume] (budget/deadline chokepoints, dedup, registration)
+             runs here, on main, in node index order. *)
+          Array.iter (fun d -> Expand.merge_delta ~into:a.d d) job.j_deltas;
+          Array.iteri
+            (fun i ss -> if not !stop then consume nodes.(i) ss)
+            job.j_results);
       a.a_open <- Sstate.Tbl.length next;
       ctx.max_open <- max ctx.max_open (Sstate.Tbl.length next);
       (* Solutions found at level [g'] are optimal: stop unless we are
@@ -436,7 +563,7 @@ let run_level ctx ~domains mode =
       ~open_states:0
   end
 
-let run_level_sync ctx mode = run_level ctx ~domains:1 mode
+let run_level_sync ctx mode = run_level ctx ~pool:None mode
 
 (* ------------------------------------------------------------------ *)
 (* A* engine: best-first on f = g + h, for fast find-first synthesis. *)
@@ -448,6 +575,7 @@ let run_astar ctx =
   let initial = Sstate.initial cfg in
   if Sstate.is_final cfg initial then trivial_final ctx
   else begin
+    let arena = Sstate.Arena.create cfg in
     let seen = Sstate.Tbl.create (1 lsl 16) in
     let heap = Heap.create () in
     (* Minimum perm-count seen per level, for the cut threshold. *)
@@ -490,7 +618,7 @@ let run_astar ctx =
               Expand.cut_threshold opts ~min_pc:lm.(node.g)
             else max_int
           in
-          let succs = Expand.expand env a.d ~g' ~threshold node.state in
+          let succs = Expand.expand env arena a.d ~g' ~threshold node.state in
           List.iter
             (fun (s : Expand.succ) ->
               if !continue then begin
@@ -550,7 +678,14 @@ let run_astar ctx =
 let run_parallel ?(opts = default) ?deadline ?(domains = 4) ?(mode = Find_first)
     cfg =
   let ctx = make_ctx ~mode ?deadline cfg opts in
-  run_level ctx ~domains mode
+  (* Main always participates in the drain, so [domains] total domains
+     means [domains - 1] pooled workers. [domains = 1] still runs the
+     pooled full-level drain (with zero workers): the statistics are
+     identical whatever the domain count. *)
+  let pool = make_pool cfg ~workers:(max 0 (domains - 1)) in
+  Fun.protect
+    ~finally:(fun () -> shutdown_pool pool)
+    (fun () -> run_level ctx ~pool:(Some pool) mode)
 
 let run_mode ?(opts = default) ?deadline ~mode cfg =
   let ctx = make_ctx ~mode ?deadline cfg opts in

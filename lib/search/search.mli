@@ -75,12 +75,14 @@ exception Timeout
     [search.deadline] fault site can force the raise at a chosen expansion
     count. *)
 
-exception Resource_exhausted of { live : int; budget : int }
+exception Resource_exhausted of { live : int; budget : int option }
 (** Raised (from the {!Expand} core's shared budget chokepoint, checked
     once per expanded node like the deadline) when the live-state count
     exceeds [options.state_budget], or when the [search.alloc_budget]
-    fault site fires. The typed signal the scheduler's degradation ladder
-    catches to retry with a more aggressive cut. *)
+    fault site fires — in which case [budget] is [None] when no budget
+    was configured (reports say "no budget" instead of a sentinel). The
+    typed signal the scheduler's degradation ladder catches to retry with
+    a more aggressive cut. *)
 
 type mode =
   | Find_first  (** Stop at the first final state. *)
@@ -142,13 +144,18 @@ type level_stat = Stats.level_stat = {
   depth : int;  (** Depth of the expanded nodes. *)
   nodes_expanded : int;
   succs_generated : int;
+  succs_kept : int;
+  finals_found : int;
   succs_deduped : int;
   cut_pruned : int;
   viability_pruned : int;
   bound_pruned : int;
   open_after : int;
 }
-(** Per-depth expansion/prune breakdown; see {!Stats.level_stat}. *)
+(** Per-depth expansion/prune breakdown; see {!Stats.level_stat}. The
+    vetting buckets are mutually exclusive and exhaustive:
+    [succs_generated = succs_kept + finals_found + cut_pruned +
+    viability_pruned + bound_pruned] at every depth, for every engine. *)
 
 type stats = Stats.t = {
   expanded : int;  (** States popped / processed. *)
@@ -203,21 +210,27 @@ val run_parallel :
   ?mode:mode ->
   Isa.Config.t ->
   result
-(** Level-synchronous search with each level expanded by [domains] worker
-    domains (the paper's parallel Dijkstra; Section 3.1 notes the approach
-    "is parallelizable as we can process all programs of a certain length
-    in parallel"). Successor generation and all pruning run in the workers
-    through the same {!Expand} core as the sequential engines — every
-    option ([action_filter], [dist_viability], [erasure_check], [cut],
-    [dedup], [max_len]) is honored and the prune counters are exact
-    (per-worker deltas, merged after the join). Deduplication and path
-    accounting merge sequentially in the same order as the sequential
-    engine, so for a fixed option set this returns the same programs,
-    [optimal_length], [solution_count] (path-count semantics), and prune
-    statistics as {!run_mode} with [engine = Level_sync]; in [Find_first]
-    mode only the last level's generated/pruned counters may exceed the
-    sequential engine's (workers expand the whole level before the merge
-    notices a solution). *)
+(** Level-synchronous search over a persistent pool of [domains - 1]
+    worker domains plus the calling domain (the paper's parallel Dijkstra;
+    Section 3.1 notes the approach "is parallelizable as we can process
+    all programs of a certain length in parallel"). The pool is spawned
+    once per search and parked between levels; each level's frontier is
+    drained work-stealing style — every domain claims the next unclaimed
+    node off a shared atomic cursor — so load balance does not depend on
+    how states were chunked. Successor generation and all pruning run in
+    the workers through the same {!Expand} core as the sequential engines
+    — every option ([action_filter], [dist_viability], [erasure_check],
+    [cut], [dedup], [max_len]) is honored and the prune counters are
+    exact (per-domain deltas, merged after the level drains).
+    Deduplication and path accounting merge sequentially in the same
+    order as the sequential engine, so for a fixed option set this
+    returns the same programs, [optimal_length], [solution_count]
+    (path-count semantics), and prune statistics as {!run_mode} with
+    [engine = Level_sync] — and, because every level drains fully before
+    the merge, results {e and} statistics are independent of [domains];
+    in [Find_first] mode only the last level's generated/pruned counters
+    may exceed the sequential engine's (the frontier drains completely
+    before the merge notices a solution). *)
 
 val stats_json : ?label:string -> ?extra:(string * string) list -> result -> string
 (** JSON snapshot of a run's statistics; see {!Stats.to_json}. [extra]

@@ -4,6 +4,8 @@ type level_stat = {
   depth : int;
   nodes_expanded : int;
   succs_generated : int;
+  succs_kept : int;
+  finals_found : int;
   succs_deduped : int;
   cut_pruned : int;
   viability_pruned : int;
@@ -109,6 +111,8 @@ let to_json ?label ?(extra = []) s =
             add_int_field "depth" l.depth;
             add_int_field "nodes_expanded" l.nodes_expanded;
             add_int_field "succs_generated" l.succs_generated;
+            add_int_field "succs_kept" l.succs_kept;
+            add_int_field "finals_found" l.finals_found;
             add_int_field "succs_deduped" l.succs_deduped;
             add_int_field "cut_pruned" l.cut_pruned;
             add_int_field "viability_pruned" l.viability_pruned;

@@ -18,6 +18,9 @@ type level_stat = {
   nodes_expanded : int;  (** States of this depth processed. *)
   succs_generated : int;
       (** Successors built from them (final states included). *)
+  succs_kept : int;
+      (** Non-final successors that survived every vetting stage. *)
+  finals_found : int;  (** Final successors (they bypass vetting). *)
   succs_deduped : int;  (** Successors dropped as already seen. *)
   cut_pruned : int;
   viability_pruned : int;
@@ -27,7 +30,11 @@ type level_stat = {
           [depth + 1]. A*: states pushed onto the heap at depth
           [depth + 1] (cumulative pushes, not a net count). *)
 }
-(** Prune/expansion breakdown for one search depth. *)
+(** Prune/expansion breakdown for one search depth. The vetting buckets
+    are mutually exclusive and exhaustive:
+    [succs_generated = succs_kept + finals_found + cut_pruned +
+    viability_pruned + bound_pruned] holds at every depth, for every
+    engine. *)
 
 type t = {
   expanded : int;  (** States popped / processed. *)

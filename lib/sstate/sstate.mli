@@ -6,10 +6,20 @@
     form — assignment codes sorted ascending with duplicates removed — which
     realizes the paper's two symmetry reductions (Section 3.6): programs that
     behave identically on all inputs map to the same state, and input
-    permutations whose assignments have converged are tracked once. *)
+    permutations whose assignments have converged are tracked once.
 
-type t = private int array
-(** Canonical: strictly increasing array of assignment codes, never empty. *)
+    Representation: a state is a slice of a shared backing array (so the
+    search can bump-allocate whole levels of states into large chunks, see
+    {!Arena}) carrying precomputed caches for the facts every engine asks
+    of every state — hash, distinct-permutation count, finality and
+    viability. The caches make {!hash}, and after first use
+    {!distinct_perms} / {!is_final} / {!all_viable}, O(1); they are filled
+    in the same pass that canonicalizes the codes on the {!Arena} path. *)
+
+type t
+(** Canonical: strictly increasing sequence of assignment codes, never
+    empty. Structurally immutable; internal caches are benign-race safe
+    (deterministic values, word-sized writes). *)
 
 val initial : Isa.Config.t -> t
 (** One assignment per permutation of [1..n], scratch zeroed, flags clear. *)
@@ -19,36 +29,98 @@ val of_codes : int array -> t
     not modified. *)
 
 val codes : t -> int array
-(** The underlying canonical array (do not mutate). *)
+(** The canonical codes as a fresh array (a copy: mutating it does not
+    affect the state). Hot paths should prefer {!iter} / {!fold}. *)
 
 val size : t -> int
 (** Number of distinct assignments in the state. *)
 
+val iter : (int -> unit) -> t -> unit
+(** Iterate the canonical codes in ascending order, without allocating. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over the canonical codes in ascending order, without allocating. *)
+
 val apply : Isa.Config.t -> Isa.Instr.t -> t -> t
-(** Execute one instruction on every assignment and re-canonicalize. *)
+(** Execute one instruction on every assignment and re-canonicalize. The
+    search's hot loop uses {!Arena.probe} / {!Arena.commit} instead. *)
 
 val is_final : Isa.Config.t -> t -> bool
-(** All assignments have their value registers sorted ([1..n] in order). *)
+(** All assignments have their value registers sorted ([1..n] in order).
+    Cached after the first query. *)
 
 val distinct_perms : Isa.Config.t -> t -> int
 (** Number of distinct value-register projections — the paper's main
     progress metric ("how much the array has been sorted", Section 3.1) and
-    the quantity its cut heuristic thresholds (Section 3.5). *)
+    the quantity its cut heuristic thresholds (Section 3.5). Cached after
+    the first query. *)
 
 val distinct_assignments : t -> int
 (** Number of distinct full assignments (equals {!size} because states are
     deduplicated). *)
 
 val all_viable : Isa.Config.t -> t -> bool
-(** No assignment has lost one of the values [1..n] (paper, Section 3.3). *)
+(** No assignment has lost one of the values [1..n] (paper, Section 3.3).
+    Cached after the first query. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
 val hash : t -> int
-(** FNV-1a over the code array; used by the search's dedup table. *)
+(** FNV-1a over the code sequence. Precomputed during canonicalization, so
+    this is O(1) — dedup-table operations no longer rehash the codes. *)
+
+val lb_cache : t -> int
+(** Cached distance lower bound, [-1] when not yet computed. Maintained by
+    [Distance.state_lower_bound]; meaningful only for the single machine
+    configuration the state was built for. *)
+
+val set_lb_cache : t -> int -> unit
 
 val pp : Isa.Config.t -> Format.formatter -> t -> unit
 
 module Tbl : Hashtbl.S with type key = t
 (** Hash table keyed by canonical states. *)
+
+(** Per-domain scratch for the expansion hot loop.
+
+    An arena owns (1) a probe buffer and a permutation-key stamp table,
+    reused by every {!Arena.probe} so that generating-and-vetting a
+    successor allocates nothing, and (2) the current bump chunk that
+    {!Arena.commit} appends surviving states into. Pruned successors —
+    the overwhelming majority under the paper's cuts — never touch the
+    heap. Arenas are single-domain: the parallel engine gives each worker
+    its own. Committed states remain valid for the arena's whole lifetime
+    and beyond (chunks are retired to the GC, never recycled). *)
+module Arena : sig
+  type arena
+
+  val create : Isa.Config.t -> arena
+
+  type outcome =
+    | Unchanged
+        (** Every code mapped to itself: the successor {e is} the input
+            state (same canonical form, caches included). Nothing was
+            written to the arena. *)
+    | Changed
+        (** The successor differs; its canonical codes and cached facts
+            are staged in the arena. Valid until the next [probe]. *)
+
+  val probe : arena -> Isa.Instr.t -> t -> outcome
+  (** Apply [instr] to every code of the state into arena scratch,
+      canonicalize there, and compute hash / distinct-perm count /
+      finality / viability in one fused pass — without allocating. *)
+
+  val probe_size : arena -> int
+  val probe_distinct_perms : arena -> int
+  val probe_is_final : arena -> bool
+  val probe_all_viable : arena -> bool
+
+  val probe_fold : arena -> ('a -> int -> 'a) -> 'a -> 'a
+  (** Fold over the staged successor's canonical codes (e.g. for a
+      distance lower bound) before deciding to commit. *)
+
+  val commit : arena -> t
+  (** Materialize the staged successor into the arena's bump chunk. Only
+      call after [probe] returned [Changed]; call at most once per probe. *)
+end

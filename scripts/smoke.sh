@@ -4,7 +4,8 @@
 # bench/main.exe; a malformed snapshot exits non-zero and fails the smoke).
 #
 # SMOKE_ONLY=chaos runs only the fault-injection / crash-recovery
-# section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section
+# section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section;
+# SMOKE_ONLY=bench runs only the search-throughput regression gate
 # (each used by the matching CI job, which has already built and tested).
 # The default runs everything.
 set -eu
@@ -187,5 +188,25 @@ echo "$crash_out" | grep -q "CRASHED" \
 rm -rf "$reg" "$jobs"
 
 fi # SMOKE_ONLY=chaos guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "bench" ]; then
+
+echo "== search-throughput regression gate =="
+dune build bench/main.exe
+# Measure a fresh trajectory point into a scratch file (never the committed
+# baseline) and gate it against the last committed BENCH_search.json entry:
+# >20% states/sec regression on any workload fails the smoke. One repeat
+# keeps CI latency sane; the gate's tolerance absorbs runner noise.
+benchout="${TMPDIR:-/tmp}/sortsynth-bench-smoke.json"
+rm -f "$benchout"
+BENCH_REPEATS="${BENCH_REPEATS:-1}" dune exec bench/main.exe -- \
+    --bench-search "$benchout" --rev smoke \
+    --check BENCH_search.json --tolerance 0.2 \
+  || { echo "search throughput regressed >20% vs BENCH_search.json" >&2; exit 1; }
+grep -q '"schema":"sortsynth-bench-search/v1"' "$benchout" \
+  || { echo "bench snapshot is missing its schema tag" >&2; exit 1; }
+rm -f "$benchout"
+
+fi # SMOKE_ONLY=bench guard
 
 echo "smoke ok"

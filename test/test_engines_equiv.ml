@@ -154,6 +154,52 @@ let test_n3_all_optimal_bit_equal () =
   if s.Search.levels <> p.Search.levels then
     Alcotest.fail "per-level stats differ between sequential and parallel"
 
+(* Work-stealing determinism: results and statistics are independent of
+   the domain count. The steal schedule varies run to run, but every level
+   drains fully before the (sequential, index-ordered) merge, so nothing
+   observable depends on which domain expanded which node. *)
+let test_parallel_jobs_independent () =
+  let cfg = Isa.Config.default 3 in
+  let strip (s : Search.stats) =
+    (* Everything except wall-clock artifacts. *)
+    ( s.Search.expanded,
+      s.Search.generated,
+      s.Search.deduped,
+      s.Search.pruned_cut,
+      s.Search.pruned_viability,
+      s.Search.pruned_bound,
+      s.Search.max_open,
+      s.Search.levels )
+  in
+  List.iter
+    (fun mode ->
+      let runs =
+        List.map
+          (fun domains ->
+            let r =
+              Search.run_parallel ~opts:Search.best ~domains ~mode cfg
+            in
+            (domains, r))
+          [ 1; 2; 3; 4 ]
+      in
+      match runs with
+      | (_, first) :: rest ->
+          List.iter
+            (fun (domains, r) ->
+              check opt_len
+                (Printf.sprintf "jobs=%d optimal length" domains)
+                first.Search.optimal_length r.Search.optimal_length;
+              check Alcotest.int
+                (Printf.sprintf "jobs=%d solution count" domains)
+                first.Search.solution_count r.Search.solution_count;
+              if r.Search.programs <> first.Search.programs then
+                Alcotest.failf "jobs=%d: programs differ" domains;
+              if strip r.Search.stats <> strip first.Search.stats then
+                Alcotest.failf "jobs=%d: statistics differ" domains)
+            rest
+      | [] -> assert false)
+    [ Search.Find_first; Search.All_optimal ]
+
 let test_n2_all_modes_agree () =
   let cfg = Isa.Config.default 2 in
   List.iter
@@ -187,6 +233,8 @@ let () =
           Alcotest.test_case "astar grid finds 11" `Slow test_n3_astar_grid;
           Alcotest.test_case "all-optimal bit equality" `Quick
             test_n3_all_optimal_bit_equal;
+          Alcotest.test_case "results independent of jobs" `Quick
+            test_parallel_jobs_independent;
         ] );
       ( "n2",
         [ Alcotest.test_case "all modes agree" `Quick test_n2_all_modes_agree ] );

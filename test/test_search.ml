@@ -146,7 +146,7 @@ let test_stats_json_well_formed () =
         Alcotest.failf "stats JSON missing %s" needle)
     [ {|"label"|}; {|"counters"|}; {|"timeline"|}; {|"levels"|};
       {|"pruned_cut"|}; {|"pruned_viability"|}; {|"pruned_bound"|};
-      {|"open_after"|} ]
+      {|"succs_kept"|}; {|"finals_found"|}; {|"open_after"|} ]
 
 let test_stats_levels_consistent () =
   (* The per-level breakdown must sum back to the aggregate counters. *)
@@ -171,6 +171,57 @@ let test_stats_levels_consistent () =
   List.iteri
     (fun i l -> check Alcotest.int "depth" i l.Search.depth)
     s.Search.levels
+
+let test_cut_threshold_rounding () =
+  let with_cut cut = { Search.default with Search.cut } in
+  let thr cut ~min_pc = Search.Expand.cut_threshold (with_cut cut) ~min_pc in
+  (* Rounds to nearest instead of truncating toward zero: 1.15 * 20 =
+     22.999...96 in floats, which [int_of_float] used to truncate to 22,
+     silently pruning states that tie the intended threshold of 23. *)
+  check Alcotest.int "x1.15 of 20 rounds up" 23 (thr (Search.Mult 1.15) ~min_pc:20);
+  check Alcotest.int "x1.5 of 3 rounds up" 5 (thr (Search.Mult 1.5) ~min_pc:3);
+  (* A multiplier below 1 clamps to the level minimum: the cut may never
+     discard the minimal-count states themselves. *)
+  check Alcotest.int "x0.5 clamps to min_pc" 10 (thr (Search.Mult 0.5) ~min_pc:10);
+  check Alcotest.int "x1.0 exact" 20 (thr (Search.Mult 1.0) ~min_pc:20);
+  check Alcotest.int "add" 22 (thr (Search.Add 2) ~min_pc:20);
+  check Alcotest.int "no cut" max_int (thr Search.No_cut ~min_pc:20)
+
+(* The vetting buckets are mutually exclusive and exhaustive: at every
+   depth, every generated successor lands in exactly one of kept / final /
+   cut / viability / bound. *)
+let assert_level_identity name (s : Search.stats) =
+  assert (s.Search.levels <> []);
+  List.iter
+    (fun (l : Search.level_stat) ->
+      let rhs =
+        l.Search.succs_kept + l.Search.finals_found + l.Search.cut_pruned
+        + l.Search.viability_pruned + l.Search.bound_pruned
+      in
+      if l.Search.succs_generated <> rhs then
+        Alcotest.failf "%s: depth %d: generated %d <> kept %d + finals %d + \
+                        cut %d + viability %d + bound %d"
+          name l.Search.depth l.Search.succs_generated l.Search.succs_kept
+          l.Search.finals_found l.Search.cut_pruned l.Search.viability_pruned
+          l.Search.bound_pruned)
+    s.Search.levels
+
+let test_prune_attribution_identity () =
+  let cfg = Isa.Config.default 3 in
+  (* All three engines, over options that make every pruner fire. *)
+  let opts = { Search.best with Search.max_len = Some 11 } in
+  assert_level_identity "astar"
+    (Search.run ~opts:{ opts with Search.engine = Search.Astar } cfg)
+      .Search.stats;
+  assert_level_identity "level_sync"
+    (Search.run ~opts:{ opts with Search.engine = Search.Level_sync } cfg)
+      .Search.stats;
+  assert_level_identity "parallel"
+    (Search.run_parallel ~opts ~domains:3 ~mode:Search.All_optimal cfg)
+      .Search.stats;
+  (* And with the cut off / no bound, where finals and kept dominate. *)
+  let loose = { Search.default with Search.max_len = Some 11 } in
+  assert_level_identity "astar-loose" (Search.run ~opts:loose cfg).Search.stats
 
 let test_validate_json_rejects_garbage () =
   let bad s =
@@ -243,6 +294,10 @@ let () =
             test_stats_json_well_formed;
           Alcotest.test_case "per-level stats consistent" `Quick
             test_stats_levels_consistent;
+          Alcotest.test_case "cut threshold rounds, never truncates" `Quick
+            test_cut_threshold_rounding;
+          Alcotest.test_case "prune attribution identity" `Quick
+            test_prune_attribution_identity;
           Alcotest.test_case "JSON validator rejects garbage" `Quick
             test_validate_json_rejects_garbage;
           Alcotest.test_case "trace collection" `Quick test_trace_collection;

@@ -83,6 +83,112 @@ let prop_apply_congruent =
       in
       Sstate.equal via_state via_codes)
 
+(* ------------------------------------------------------------------ *)
+(* Observational equivalence of the packed representation against a
+   straightforward reference model: a sorted, deduplicated code list with
+   every derived fact recomputed from scratch (the pre-packed
+   semantics). *)
+
+module Ref = struct
+  let canon codes = List.sort_uniq compare (Array.to_list codes)
+  let apply cfg i codes = List.map (Machine.Assign.apply cfg i) codes
+  let is_final cfg codes = List.for_all (Machine.Assign.is_sorted cfg) codes
+  let all_viable cfg codes = List.for_all (Machine.Assign.viable cfg) codes
+
+  let distinct_perms cfg codes =
+    List.length
+      (List.sort_uniq compare (List.map (Machine.Assign.perm_key cfg) codes))
+end
+
+let random_codes cfgn st =
+  let nregs = Isa.Config.nregs cfgn in
+  Array.init
+    (1 + Random.State.int st 12)
+    (fun _ ->
+      Machine.Assign.of_values cfgn
+        (Array.init nregs (fun _ -> Random.State.int st (cfgn.Isa.Config.n + 1))))
+
+let random_instr_seq cfgn st =
+  let instrs = Isa.Instr.all cfgn in
+  List.init
+    (Random.State.int st 7)
+    (fun _ -> instrs.(Random.State.int st (Array.length instrs)))
+
+(* Packed states agree with the reference model on every observable, for
+   random code multisets driven through random instruction sequences at
+   n = 2..5. *)
+let prop_packed_equals_reference =
+  QCheck.Test.make ~name:"packed state tracks reference model" ~count:200
+    QCheck.(pair (int_range 2 5) (int_bound 1000000))
+    (fun (n, seed) ->
+      let cfgn = Isa.Config.default n in
+      let st = Random.State.make [| seed |] in
+      let codes = random_codes cfgn st in
+      let s = ref (Sstate.of_codes codes) in
+      let r = ref (Ref.canon codes) in
+      let agree () =
+        let cs = Array.to_list (Sstate.codes !s) in
+        cs = !r
+        && Sstate.size !s = List.length !r
+        && Sstate.is_final cfgn !s = Ref.is_final cfgn !r
+        && Sstate.all_viable cfgn !s = Ref.all_viable cfgn !r
+        && Sstate.distinct_perms cfgn !s = Ref.distinct_perms cfgn !r
+        (* Hash is canonical: rebuilding from the emitted codes gives an
+           equal state with an equal hash. *)
+        && Sstate.equal !s (Sstate.of_codes (Sstate.codes !s))
+        && Sstate.hash !s = Sstate.hash (Sstate.of_codes (Sstate.codes !s))
+      in
+      List.for_all
+        (fun i ->
+          s := Sstate.apply cfgn i !s;
+          r := Ref.canon (Array.of_list (Ref.apply cfgn i !r));
+          agree ())
+        (random_instr_seq cfgn st)
+      && agree ())
+
+(* The arena probe/commit fast path is observationally identical to the
+   plain [apply] path: same canonical state, and the fused-pass caches
+   (pc / final / viable) match the recomputed facts. *)
+let prop_arena_probe_matches_apply =
+  QCheck.Test.make ~name:"arena probe/commit equals apply" ~count:200
+    QCheck.(pair (int_range 2 5) (int_bound 1000000))
+    (fun (n, seed) ->
+      let cfgn = Isa.Config.default n in
+      let st = Random.State.make [| seed |] in
+      let arena = Sstate.Arena.create cfgn in
+      let instrs = Isa.Instr.all cfgn in
+      (* Walk a random path from the initial state so arena inputs are
+         realistic (sorted slices of arbitrary length). *)
+      let s = ref (Sstate.initial cfgn) in
+      let steps = 1 + Random.State.int st 8 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let i = instrs.(Random.State.int st (Array.length instrs)) in
+        let via_apply = Sstate.apply cfgn i !s in
+        (match Sstate.Arena.probe arena i !s with
+        | Sstate.Arena.Unchanged ->
+            if not (Sstate.equal via_apply !s) then ok := false
+        | Sstate.Arena.Changed ->
+            if Sstate.Arena.probe_size arena <> Sstate.size via_apply then
+              ok := false;
+            if
+              Sstate.Arena.probe_distinct_perms arena
+              <> Sstate.distinct_perms cfgn via_apply
+            then ok := false;
+            if Sstate.Arena.probe_is_final arena <> Sstate.is_final cfgn via_apply
+            then ok := false;
+            if
+              Sstate.Arena.probe_all_viable arena
+              <> Sstate.all_viable cfgn via_apply
+            then ok := false;
+            let committed = Sstate.Arena.commit arena in
+            if not (Sstate.equal committed via_apply) then ok := false;
+            if Sstate.hash committed <> Sstate.hash via_apply then ok := false;
+            if Sstate.compare committed via_apply <> 0 then ok := false);
+        s := via_apply
+      done;
+      !ok)
+
 let prop_canonical_idempotent =
   QCheck.Test.make ~name:"canonicalization idempotent" ~count:300
     QCheck.(int_bound 100000)
@@ -114,5 +220,10 @@ let () =
           Alcotest.test_case "Tbl" `Quick test_tbl;
         ] );
       ( "properties",
-        [ qtest prop_apply_congruent; qtest prop_canonical_idempotent ] );
+        [
+          qtest prop_apply_congruent;
+          qtest prop_canonical_idempotent;
+          qtest prop_packed_equals_reference;
+          qtest prop_arena_probe_matches_apply;
+        ] );
     ]
