@@ -12,7 +12,11 @@
      synth -n 3 --cache               serve/populate the kernel registry
      synth -n 3 --stats-json -        dump the search-stats JSON snapshot
      synth batch jobs.json -j 4      run a job list through the registry
+     synth serve --socket S.sock      long-lived daemon: LRU + coalescing
+     synth client --server S.sock -n 3   one request against the daemon
+     synth batch jobs.json --server S.sock   batch through the daemon
      synth registry list|verify|gc    inspect / re-certify / sweep the store
+     synth registry migrate           shard a flat v1 store in place
      synth lint kernel.txt            static lints; exit 1 on ERROR findings
      synth analyze kernel.txt         full report: dataflow, abstract
                                       certification, proof-carrying DCE
@@ -30,13 +34,16 @@
      3  the live-state budget was exhausted even at the final
         degradation rung
      4  registry corruption: a verify sweep found entries that had to be
-        quarantined *)
+        quarantined
+     5  synthesis server unreachable, or a protocol error on its socket
+        (client / batch --server modes) *)
 
 open Cmdliner
 
 let exit_timeout = 2
 let exit_exhausted = 3
 let exit_corrupt = 4
+let exit_unreachable = 5
 
 let exits =
   Cmd.Exit.info ~doc:"on lint, verification, or synthesis failure." 1
@@ -50,6 +57,11 @@ let exits =
   :: Cmd.Exit.info
        ~doc:"on registry corruption (a verify sweep quarantined entries)."
        exit_corrupt
+  :: Cmd.Exit.info
+       ~doc:
+         "when the synthesis server is unreachable or its response was cut \
+          off or unparsable (client and batch --server modes)."
+       exit_unreachable
   :: Cmd.Exit.defaults
 
 (* [--fault-plan] accepts the same forms as $SORTSYNTH_FAULT_PLAN: an
@@ -479,7 +491,95 @@ let default_term =
 (* ------------------------------------------------------------------ *)
 (* batch: run a JSON job list through the registry + scheduler.        *)
 
-let run_batch jobs_file workers timeout retries backoff budget no_cache
+(* The thin-client path of [batch --server]: ship the parsed job list to
+   the daemon and print its answers in the local format. The kernel text
+   is byte-identical to a local run — both ends print
+   [Isa.Program.to_string] of the same certified program — only the
+   timing commentary in the '#' lines differs. *)
+let run_batch_remote sock keys timeout retries backoff budget optimize
+    stats_json =
+  let params =
+    { Serve.Protocol.timeout; budget; retries; backoff; optimize }
+  in
+  match Serve.Client.roundtrip ~socket:sock (Serve.Protocol.Batch (keys, params)) with
+  | Error msg ->
+      Printf.eprintf "synth batch: %s\n" msg;
+      exit exit_unreachable
+  | Ok (Serve.Protocol.Refused msg) ->
+      `Error (false, Printf.sprintf "server refused the batch: %s" msg)
+  | Ok (Serve.Protocol.Served _ | Serve.Protocol.Snapshot _ | Serve.Protocol.Goodbye) ->
+      Printf.eprintf "synth batch: protocol error: unexpected response type\n";
+      exit exit_unreachable
+  | Ok (Serve.Protocol.Jobs served) ->
+      if List.length served <> List.length keys then begin
+        Printf.eprintf
+          "synth batch: protocol error: %d jobs sent, %d answers received\n"
+          (List.length keys) (List.length served);
+        exit exit_unreachable
+      end;
+      let timeouts = ref 0 and exhausted = ref 0 and other = ref 0 in
+      List.iteri
+        (fun i (key, (s : Serve.Protocol.served)) ->
+          let tag, note =
+            match s.Serve.Protocol.status with
+            | "cached" ->
+                ( "cached",
+                  match s.Serve.Protocol.source with
+                  | Some "memory" -> " (served from memory)"
+                  | _ -> "" )
+            | "synthesized" when s.Serve.Protocol.degraded ->
+                ( Printf.sprintf "synthesized DEGRADED (rung %d)"
+                    s.Serve.Protocol.rung,
+                  Printf.sprintf " in %.3f s — correct but not guaranteed \
+                                  shortest; not cached"
+                    s.Serve.Protocol.elapsed )
+            | "synthesized" ->
+                ("synthesized", Printf.sprintf " in %.3f s" s.Serve.Protocol.elapsed)
+            | "timed_out" ->
+                incr timeouts;
+                ( "TIMED OUT",
+                  Printf.sprintf " after %d attempts" s.Serve.Protocol.attempts )
+            | "exhausted" ->
+                incr exhausted;
+                ( "EXHAUSTED",
+                  match s.Serve.Protocol.error with
+                  | Some e -> ": " ^ e
+                  | None -> "" )
+            | "crashed" ->
+                incr other;
+                ("CRASHED", ": worker died mid-request; job isolated")
+            | st ->
+                incr other;
+                ( String.uppercase_ascii st,
+                  match s.Serve.Protocol.error with
+                  | Some e -> ": " ^ e
+                  | None -> "" )
+          in
+          Printf.printf "# job %d [%s] %s: %s%s\n" i
+            (String.sub (Registry.Key.hash key) 0 12)
+            (Registry.Key.describe key) tag note;
+          match s.Serve.Protocol.kernel with
+          | Some k -> print_endline k
+          | None -> ())
+        (List.combine keys served);
+      (match stats_json with
+      | Some path ->
+          write_json path
+            (Registry.Json.to_string
+               (Serve.Protocol.response_to_json (Serve.Protocol.Jobs served)))
+      | None -> ());
+      let failures = !timeouts + !exhausted + !other in
+      if failures > 0 then begin
+        Printf.eprintf "synth batch: %d of %d jobs did not produce a kernel\n"
+          failures (List.length keys);
+        exit
+          (if !other = 0 && !exhausted = 0 then exit_timeout
+           else if !other = 0 && !timeouts = 0 then exit_exhausted
+           else 1)
+      end;
+      `Ok ()
+
+let run_batch jobs_file server workers timeout retries backoff budget no_cache
     cache_dir x86 stats_json fault_plan optimize =
   setup_faults fault_plan;
   let src =
@@ -492,6 +592,9 @@ let run_batch jobs_file workers timeout retries backoff budget no_cache
   in
   match Result.bind src Registry.Scheduler.parse_jobs with
   | Error msg -> `Error (false, Printf.sprintf "cannot read jobs: %s" msg)
+  | Ok keys when server <> None ->
+      run_batch_remote (Option.get server) keys timeout retries backoff budget
+        optimize stats_json
   | Ok keys ->
       let root = if no_cache then None else Some (resolve_root cache_dir) in
       let b =
@@ -615,6 +718,19 @@ let batch_cmd =
              kernel before storing it; the registry entry records the \
              original kernel's digest and the applied passes as provenance.")
   in
+  let server =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"SOCK"
+          ~doc:
+            "Run the batch through the synthesis daemon listening on the \
+             Unix socket $(docv) instead of locally: the daemon's in-memory \
+             cache, request coalescing, and worker pool serve the jobs. The \
+             kernel text printed is byte-identical to a local run. Exit \
+             code 5 when the server is unreachable or the response is cut \
+             off.")
+  in
   Cmd.v
     (Cmd.info "batch" ~exits
        ~doc:
@@ -626,9 +742,9 @@ let batch_cmd =
           3; anything else, 1.")
     Term.(
       ret
-        (const run_batch $ jobs_file $ jobs $ timeout $ retries $ backoff
-        $ state_budget $ no_cache $ cache_dir $ x86 $ stats_json $ fault_plan
-        $ batch_optimize))
+        (const run_batch $ jobs_file $ server $ jobs $ timeout $ retries
+        $ backoff $ state_budget $ no_cache $ cache_dir $ x86 $ stats_json
+        $ fault_plan $ batch_optimize))
 
 (* ------------------------------------------------------------------ *)
 (* lint / analyze: the static analyzer over kernel files.              *)
@@ -1207,23 +1323,52 @@ let equiv_cmd =
 (* ------------------------------------------------------------------ *)
 (* registry list | verify | gc                                         *)
 
-let registry_list cache_dir =
+let registry_list cache_dir count =
   let root = resolve_root cache_dir in
-  let hashes = Registry.Store.list_hashes ~root in
-  Printf.printf "# %d entries in %s (%d quarantined)\n" (List.length hashes)
-    root
-    (Registry.Store.quarantine_count ~root);
-  List.iter
-    (fun h ->
-      match Registry.Store.load_unverified ~root h with
-      | Ok e ->
-          Printf.printf "%s  %s  len=%d cost=%.2f expanded=%d\n"
-            (String.sub h 0 12)
-            (Registry.Key.describe e.Registry.Store.key)
-            e.Registry.Store.length e.Registry.Store.predicted_cost
-            e.Registry.Store.expanded
-      | Error msg -> Printf.printf "%s  <unreadable: %s>\n" (String.sub h 0 12) msg)
-    hashes;
+  (* One walk answers every count — entry names, layout split, torn temp
+     dirs, quarantine population — so [--count] never opens a meta.json
+     and the full listing only reads metadata for the lines it prints. *)
+  let s = Registry.Store.scan ~root in
+  Printf.printf "# %d entries in %s (%d quarantined)\n"
+    (List.length s.Registry.Store.hashes)
+    root s.Registry.Store.quarantined;
+  if count then begin
+    Printf.printf "# layout: %d sharded, %d flat (v1), %d shard dir(s), %d \
+                   torn temp dir(s)\n"
+      (List.length s.Registry.Store.hashes - List.length s.Registry.Store.flat)
+      (List.length s.Registry.Store.flat)
+      s.Registry.Store.shards
+      (List.length s.Registry.Store.tmp);
+    `Ok ()
+  end
+  else begin
+    List.iter
+      (fun h ->
+        match Registry.Store.load_unverified ~root h with
+        | Ok e ->
+            Printf.printf "%s  %s  len=%d cost=%.2f expanded=%d\n"
+              (String.sub h 0 12)
+              (Registry.Key.describe e.Registry.Store.key)
+              e.Registry.Store.length e.Registry.Store.predicted_cost
+              e.Registry.Store.expanded
+        | Error msg ->
+            Printf.printf "%s  <unreadable: %s>\n" (String.sub h 0 12) msg)
+      s.Registry.Store.hashes;
+    `Ok ()
+  end
+
+let registry_migrate cache_dir =
+  let root = resolve_root cache_dir in
+  let m = Registry.Store.migrate ~root () in
+  Printf.printf "# migrated: %d moved into shards, %d already sharded, %d \
+                 conflict(s) left in place\n"
+    m.Registry.Store.moved m.Registry.Store.already_sharded
+    m.Registry.Store.conflicts;
+  if m.Registry.Store.conflicts > 0 then
+    Printf.eprintf
+      "synth: registry: %d flat entries have a sharded twin that wins every \
+       lookup; inspect and remove the flat copies manually\n"
+      m.Registry.Store.conflicts;
   `Ok ()
 
 let registry_verify cache_dir lint stats_json =
@@ -1296,8 +1441,29 @@ let registry_gc cache_dir dry_run =
   `Ok ()
 
 let registry_cmd =
-  let simple name doc f =
-    Cmd.v (Cmd.info name ~doc) Term.(ret (const f $ cache_dir))
+  let count_flag =
+    Arg.(
+      value & flag
+      & info [ "count" ]
+          ~doc:
+            "Print only the counts (entries, layout split, quarantine) from \
+             a single directory walk — no per-entry metadata is read.")
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List stored entries (no verification).")
+      Term.(ret (const registry_list $ cache_dir $ count_flag))
+  in
+  let migrate_cmd =
+    Cmd.v
+      (Cmd.info "migrate"
+         ~doc:
+           "Rename every flat v1 entry (store/<hash>) into its shard \
+            directory (store/<hh>/<hash>). Each move is one atomic rename; \
+            interrupting and re-running is safe, and both layouts stay \
+            readable throughout. Flat entries whose sharded twin already \
+            exists are reported and left in place.")
+      Term.(ret (const registry_migrate $ cache_dir))
   in
   let lint_flag =
     Arg.(
@@ -1337,11 +1503,158 @@ let registry_cmd =
   in
   Cmd.group
     (Cmd.info "registry" ~doc:"Inspect and maintain the on-disk kernel registry.")
-    [
-      simple "list" "List stored entries (no verification)." registry_list;
-      verify_cmd;
-      gc_cmd;
-    ]
+    [ list_cmd; verify_cmd; gc_cmd; migrate_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* serve / client: the long-lived synthesis daemon and its thin client. *)
+
+let run_serve socket cache_dir capacity workers stats_json fault_plan =
+  setup_faults fault_plan;
+  let root = resolve_root cache_dir in
+  let cfg = { Serve.Server.socket_path = socket; root; capacity; workers } in
+  let t = Serve.Server.create cfg in
+  Serve.Server.run
+    ~on_ready:(fun () -> Printf.printf "# serve: listening on %s\n%!" socket)
+    t;
+  (match stats_json with
+  | Some path ->
+      write_json path (Registry.Json.to_string (Serve.Server.snapshot t))
+  | None -> ());
+  `Ok ()
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix domain socket to listen on (unlinked and rebound).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 128
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "In-memory LRU capacity in entries. Warm hits are served with \
+             zero directory scans and zero re-certifications; 0 disables \
+             the memory layer.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Persistent search worker domains (default 2).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the long-lived synthesis daemon: newline-delimited JSON over \
+          a Unix domain socket (ops: lookup, synth, batch, stats, \
+          shutdown). Three serving layers — a bounded in-memory LRU over \
+          certified entries, the sharded on-disk registry (crash recovery \
+          at open and after any quarantine), and a persistent worker pool \
+          running the scheduler's degradation ladder. Identical concurrent \
+          requests coalesce onto one search. Runs until a shutdown request \
+          arrives; with $(b,--stats-json), writes the final counter \
+          snapshot on exit.")
+    Term.(
+      ret
+        (const run_serve $ socket $ cache_dir $ capacity $ workers $ stats_json
+        $ fault_plan))
+
+let print_served (s : Serve.Protocol.served) =
+  Printf.printf "# %s%s%s: %s (%.3f s server-side)\n" s.Serve.Protocol.status
+    (match s.Serve.Protocol.source with Some src -> " from " ^ src | None -> "")
+    (if s.Serve.Protocol.coalesced then ", coalesced" else "")
+    s.Serve.Protocol.canonical s.Serve.Protocol.elapsed;
+  (match s.Serve.Protocol.error with
+  | Some e -> Printf.eprintf "synth client: server: %s\n" e
+  | None -> ());
+  (match s.Serve.Protocol.kernel with Some k -> print_endline k | None -> ());
+  match s.Serve.Protocol.status with
+  | "cached" | "synthesized" -> `Ok ()
+  | "timed_out" -> exit exit_timeout
+  | "exhausted" -> exit exit_exhausted
+  | _ -> exit 1
+
+let run_client server op n scratch engine heuristic cut max_len timeout budget
+    optimize stats_json fault_plan =
+  setup_faults fault_plan;
+  let req =
+    match op with
+    | `Stats -> Serve.Protocol.Stats
+    | `Shutdown -> Serve.Protocol.Shutdown
+    | (`Lookup | `Synth) as op ->
+        let key =
+          Registry.Key.make ~m:scratch ~engine ~heuristic
+            ~cut:(Registry.Key.cut_of_factor cut) ?max_len n
+        in
+        if op = `Lookup then Serve.Protocol.Lookup key
+        else
+          Serve.Protocol.Synth
+            (key, { Serve.Protocol.default_params with timeout; budget; optimize })
+  in
+  match Serve.Client.roundtrip ~socket:server req with
+  | Error msg ->
+      Printf.eprintf "synth client: %s\n" msg;
+      exit exit_unreachable
+  | Ok (Serve.Protocol.Refused msg) ->
+      Printf.eprintf "synth client: server refused: %s\n" msg;
+      exit 1
+  | Ok Serve.Protocol.Goodbye ->
+      Printf.printf "# server shutting down\n";
+      `Ok ()
+  | Ok (Serve.Protocol.Snapshot j) ->
+      let rendered = Registry.Json.to_string j in
+      (match stats_json with
+      | Some path -> write_json path rendered
+      | None -> print_endline rendered);
+      `Ok ()
+  | Ok (Serve.Protocol.Served s) -> print_served s
+  | Ok (Serve.Protocol.Jobs _) ->
+      Printf.eprintf "synth client: protocol error: unexpected jobs response\n";
+      exit exit_unreachable
+
+let client_cmd =
+  let server =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "server" ] ~docv:"SOCK"
+          ~doc:"Unix socket of a running $(b,synth serve) daemon.")
+  in
+  let op =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("synth", `Synth);
+               ("lookup", `Lookup);
+               ("stats", `Stats);
+               ("shutdown", `Shutdown);
+             ])
+          `Synth
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Request to send: $(b,synth) (serve or synthesize), $(b,lookup) \
+             (cache/registry probe only, never searches), $(b,stats) \
+             (counter snapshot as JSON), or $(b,shutdown).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits
+       ~doc:
+         "One request against a running synthesis daemon. Key flags (-n, \
+          --engine, ...) mirror the default command; the response kernel \
+          prints exactly as a local synthesis would print it. Exit code 5 \
+          when the daemon is unreachable or the response is torn or \
+          unparsable; otherwise the served status maps to the usual codes \
+          (cached/synthesized 0, timed out 2, exhausted 3, failed 1).")
+    Term.(
+      ret
+        (const run_client $ server $ op $ n $ scratch $ engine $ heuristic
+        $ cut $ max_len $ timeout_arg $ state_budget $ optimize_flag
+        $ stats_json $ fault_plan))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1349,6 +1662,15 @@ let cmd =
   Cmd.group ~default:default_term
     (Cmd.info "synth" ~exits
        ~doc:"Synthesize branchless sorting kernels (CGO'25 reproduction)")
-    [ batch_cmd; registry_cmd; lint_cmd; analyze_cmd; optimize_cmd; equiv_cmd ]
+    [
+      batch_cmd;
+      registry_cmd;
+      serve_cmd;
+      client_cmd;
+      lint_cmd;
+      analyze_cmd;
+      optimize_cmd;
+      equiv_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

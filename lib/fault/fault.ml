@@ -8,6 +8,9 @@ type site =
   | Search_alloc_budget
   | Search_deadline
   | Opt_break_pass
+  | Serve_torn_connection
+  | Serve_slow_client
+  | Serve_worker_death
 
 let all_sites =
   [
@@ -20,6 +23,9 @@ let all_sites =
     Search_alloc_budget;
     Search_deadline;
     Opt_break_pass;
+    Serve_torn_connection;
+    Serve_slow_client;
+    Serve_worker_death;
   ]
 
 let site_name = function
@@ -32,6 +38,9 @@ let site_name = function
   | Search_alloc_budget -> "search.alloc_budget"
   | Search_deadline -> "search.deadline"
   | Opt_break_pass -> "opt.break_pass"
+  | Serve_torn_connection -> "serve.torn_connection"
+  | Serve_slow_client -> "serve.slow_client"
+  | Serve_worker_death -> "serve.worker_death"
 
 let site_index = function
   | Registry_write_kernel -> 0
@@ -43,6 +52,9 @@ let site_index = function
   | Search_alloc_budget -> 6
   | Search_deadline -> 7
   | Opt_break_pass -> 8
+  | Serve_torn_connection -> 9
+  | Serve_slow_client -> 10
+  | Serve_worker_death -> 11
 
 let n_sites = List.length all_sites
 

@@ -52,6 +52,19 @@ type site =
           sabotaged (a semantics-changing mutation) before certification,
           so the certifier must refuse it. Exercises the proof-carrying
           contract: a broken pass can never silently miscompile. *)
+  | Serve_torn_connection
+      (** [serve.torn_connection] — the synthesis daemon's connection is
+          torn mid-response: half the response bytes are written, then the
+          socket is closed abruptly. The client sees a protocol error; the
+          server's store and memory cache must stay intact. *)
+  | Serve_slow_client
+      (** [serve.slow_client] — a stall is injected while the daemon talks
+          to one client, exercising that other connections keep
+          progressing (thread-per-connection isolation). *)
+  | Serve_worker_death
+      (** [serve.worker_death] — a resident pool worker dies after
+          claiming a request and before completing it. Only that request
+          fails; the pool keeps serving. *)
 
 val all_sites : site list
 val site_name : site -> string

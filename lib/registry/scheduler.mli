@@ -110,6 +110,23 @@ val run_key :
     absolute {!Fault.Clock.now} instant) spans all rungs — degrading does
     not extend a job's time box. *)
 
+val run_one :
+  ?optimize:bool ->
+  timeout:float option ->
+  retries:int ->
+  backoff:float ->
+  budget:int option ->
+  Key.t ->
+  job_result
+(** One job run to completion in the calling domain: up to [1 + retries]
+    attempts through {!run_key}'s degradation ladder, each against its
+    own deadline of [timeout] seconds, exponential backoff between
+    attempts, post-search certification (and optional optimizer polish)
+    — exactly what a batch worker does per job. Never raises; every
+    failure funnels into the [status] and the [attempt_log]. The
+    resident serving pool ([lib/serve]) reuses this so daemon requests
+    get the same ladder, backoff, and deadline plumbing as batches. *)
+
 val parse_jobs : string -> (Key.t list, string) result
 (** Parse a jobs file: a JSON array of request objects (see
     {!Key.of_json}), e.g.

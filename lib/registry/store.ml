@@ -55,7 +55,49 @@ let default_root () =
 let ( / ) = Filename.concat
 let store_dir root = root / "store"
 let quarantine_dir root = root / "quarantine"
-let entry_dir ~root key = store_dir root / Key.hash key
+
+(* Every directory scan in this module goes through this wrapper so the
+   daemon can prove a warm lookup touched no directory at all: the counter
+   is the "zero Sys.readdir calls" evidence exported by `synth serve`
+   stats. *)
+let readdir_counter = Atomic.make 0
+let readdir dir = Atomic.incr readdir_counter; Sys.readdir dir
+let readdir_calls () = Atomic.get readdir_counter
+
+(* ------------------------------------------------------------------ *)
+(* Sharded layout.
+
+   v2 fans the MD5 keyspace across 256 two-hex-digit prefix directories
+   (store/ab/<hash>/...), so maintenance scans touch 1/256th of the
+   entries per readdir instead of one directory with every entry in it.
+   The flat v1 layout (store/<hash>/...) stays readable: [locate] checks
+   the shard first, then the flat position, and [migrate] renames flat
+   entries into their shards. New inserts always land sharded. *)
+
+let is_hex_string s =
+  String.for_all
+    (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+    s
+
+let is_shard_name name = String.length name = 2 && is_hex_string name
+let shard_of_hash hash = String.sub hash 0 2
+let sharded_path ~root hash = store_dir root / shard_of_hash hash / hash
+let flat_path ~root hash = store_dir root / hash
+
+(* The directory the entry actually lives in: shard first (v2), then the
+   flat v1 position. Two stats, no readdir. *)
+let locate ~root hash =
+  let sharded = sharded_path ~root hash in
+  if Sys.file_exists sharded then Some sharded
+  else
+    let flat = flat_path ~root hash in
+    if Sys.file_exists flat then Some flat else None
+
+let entry_dir ~root key =
+  let hash = Key.hash key in
+  match locate ~root hash with
+  | Some dir -> dir
+  | None -> sharded_path ~root hash
 
 let mkdir_p dir =
   let rec go dir =
@@ -96,10 +138,60 @@ let fsync_path path =
 
 let rec remove_tree path =
   if Sys.is_directory path then begin
-    Array.iter (fun f -> remove_tree (path / f)) (Sys.readdir path);
+    Array.iter (fun f -> remove_tree (path / f)) (readdir path);
     Unix.rmdir path
   end
   else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* One-pass directory scan.
+
+   [list]/[verify]/[gc]/[recover] used to make separate readdir passes
+   over the same tree (entries, then quarantine, then temp dirs). [scan]
+   walks the store root exactly once — descending into shard directories,
+   classifying flat entries and torn [.tmp-*] staging dirs on the way —
+   plus one readdir of the quarantine area, and everything downstream
+   reuses the result. *)
+
+type scan = {
+  hashes : string list;  (** All entry hashes, both layouts, sorted. *)
+  flat : string list;  (** The subset still in the flat v1 position. *)
+  tmp : string list;  (** Torn [.tmp-*] staging dirs (full paths). *)
+  shards : int;  (** Shard directories present. *)
+  quarantined : int;  (** Directories in the quarantine area. *)
+}
+
+let scan ~root =
+  let dir = store_dir root in
+  let hashes = ref [] and flat = ref [] and tmp = ref [] and shards = ref 0 in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun name ->
+        if String.starts_with ~prefix:".tmp-" name then tmp := (dir / name) :: !tmp
+        else if is_shard_name name then begin
+          incr shards;
+          Array.iter
+            (fun sub ->
+              if String.starts_with ~prefix:".tmp-" sub then
+                tmp := (dir / name / sub) :: !tmp
+              else if not (String.starts_with ~prefix:"." sub) then
+                hashes := sub :: !hashes)
+            (readdir (dir / name))
+        end
+        else if not (String.starts_with ~prefix:"." name) then begin
+          hashes := name :: !hashes;
+          flat := name :: !flat
+        end)
+      (readdir dir);
+  let q = quarantine_dir root in
+  let quarantined = if Sys.file_exists q then Array.length (readdir q) else 0 in
+  {
+    hashes = List.sort compare !hashes;
+    flat = List.sort compare !flat;
+    tmp = List.sort compare !tmp;
+    shards = !shards;
+    quarantined;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Metadata records.                                                   *)
@@ -195,7 +287,11 @@ let parse_meta src =
 (* Quarantine.                                                         *)
 
 let quarantine ~root ~hash ~reason =
-  let src = store_dir root / hash in
+  let src =
+    match locate ~root hash with
+    | Some dir -> dir
+    | None -> flat_path ~root hash
+  in
   let qdir = quarantine_dir root in
   mkdir_p qdir;
   let rec dest k =
@@ -208,13 +304,14 @@ let quarantine ~root ~hash ~reason =
 
 let quarantine_count ~root =
   let q = quarantine_dir root in
-  if Sys.file_exists q then Array.length (Sys.readdir q) else 0
+  if Sys.file_exists q then Array.length (readdir q) else 0
 
 (* ------------------------------------------------------------------ *)
 (* Load / lookup.                                                      *)
 
-let load ~root hash =
-  let dir = store_dir root / hash in
+(* Validate the entry at an explicit directory — recovery must check the
+   copy it found, not whatever [locate] would prefer. *)
+let load_at ~dir hash =
   let* meta_src =
     try Ok (read_file (dir / "meta.json"))
     with Sys_error m -> Error (Printf.sprintf "unreadable meta.json: %s" m)
@@ -250,9 +347,12 @@ let load ~root hash =
           provenance;
         }
 
-let load_unverified ~root hash =
-  if Sys.file_exists (store_dir root / hash) then load ~root hash
-  else Error "no such entry"
+let load ~root hash =
+  match locate ~root hash with
+  | Some dir -> load_at ~dir hash
+  | None -> Error "no such entry"
+
+let load_unverified ~root hash = load ~root hash
 
 let certified ~root hash =
   let* e = load ~root hash in
@@ -262,7 +362,7 @@ let certified ~root hash =
 let lookup ?counters ~root key =
   let bump f = Option.iter f counters in
   let hash = Key.hash key in
-  if not (Sys.file_exists (store_dir root / hash)) then begin
+  if locate ~root hash = None then begin
     bump (fun c -> c.misses <- c.misses + 1);
     Miss
   end
@@ -278,11 +378,11 @@ let lookup ?counters ~root key =
             (Key.canonical e.key) (Key.canonical key)
         in
         quarantine ~root ~hash ~reason;
-        bump (fun c -> c.quarantined <- c.quarantined + 1);
+        bump (fun (c : counters) -> c.quarantined <- c.quarantined + 1);
         Quarantined reason
     | Error reason ->
         quarantine ~root ~hash ~reason;
-        bump (fun c -> c.quarantined <- c.quarantined + 1);
+        bump (fun (c : counters) -> c.quarantined <- c.quarantined + 1);
         Quarantined reason
 
 (* ------------------------------------------------------------------ *)
@@ -314,11 +414,10 @@ let insert ?counters ?(degraded = false) ?provenance ~root key
           }
         in
         let hash = Key.hash key in
-        mkdir_p (store_dir root);
-        let tmp =
-          store_dir root / Printf.sprintf ".tmp-%s-%d" hash (Unix.getpid ())
-        in
-        let final = store_dir root / hash in
+        let shard = store_dir root / shard_of_hash hash in
+        mkdir_p shard;
+        let tmp = shard / Printf.sprintf ".tmp-%s-%d" hash (Unix.getpid ()) in
+        let final = shard / hash in
         let maybe_torn site contents =
           if Fault.fire site then torn contents else contents
         in
@@ -343,8 +442,12 @@ let insert ?counters ?(degraded = false) ?provenance ~root key
           fsync_path tmp;
           crash_if Fault.Registry_rename;
           if Sys.file_exists final then remove_tree final;
+          (* A flat v1 twin would shadow-fight the sharded copy in
+             [locate]; publishing supersedes it. *)
+          let flat = flat_path ~root hash in
+          if Sys.file_exists flat then remove_tree flat;
           Sys.rename tmp final;
-          fsync_path (store_dir root)
+          fsync_path shard
         with
         | () ->
             Option.iter (fun c -> c.inserted <- c.inserted + 1) counters;
@@ -366,42 +469,75 @@ let insert ?counters ?(degraded = false) ?provenance ~root key
 type recovery = { rolled_back : int; requarantined : int }
 
 let recover ?counters ~root () =
-  let dir = store_dir root in
+  let s = scan ~root in
   let rolled_back = ref 0 and requarantined = ref 0 in
-  if Sys.file_exists dir then
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.iter (fun name ->
-           if String.starts_with ~prefix:".tmp-" name then begin
-             (* A staging directory a crashed insert never renamed into
-                place: it was never visible to lookups, so dropping it
-                loses nothing. *)
-             remove_tree (dir / name);
-             incr rolled_back
-           end
-           else if not (String.starts_with ~prefix:"." name) then
-             match load ~root name with
-             | Ok _ -> ()
-             | Error reason ->
-                 quarantine ~root ~hash:name
-                   ~reason:("recovery: " ^ reason);
-                 incr requarantined);
+  (* Staging directories a crashed insert never renamed into place: they
+     were never visible to lookups, so dropping them loses nothing. *)
+  List.iter
+    (fun tmp ->
+      remove_tree tmp;
+      incr rolled_back)
+    s.tmp;
+  List.iter
+    (fun hash ->
+      (* Validate the copy where it actually sits; a flat twin shadowed
+         by a sharded one is stale and swept aside like any broken dir. *)
+      let dir =
+        match locate ~root hash with
+        | Some dir -> dir
+        | None -> flat_path ~root hash
+      in
+      match load_at ~dir hash with
+      | Ok _ -> ()
+      | Error reason ->
+          quarantine ~root ~hash ~reason:("recovery: " ^ reason);
+          incr requarantined)
+    s.hashes;
   Option.iter
-    (fun c ->
+    (fun (c : counters) ->
       c.recovered <- c.recovered + !rolled_back;
       c.quarantined <- c.quarantined + !requarantined)
     counters;
   { rolled_back = !rolled_back; requarantined = !requarantined }
 
 (* ------------------------------------------------------------------ *)
+(* Migration: flat v1 -> sharded v2.                                   *)
+
+type migration = { moved : int; already_sharded : int; conflicts : int }
+
+let migrate ~root () =
+  let s = scan ~root in
+  let moved = ref 0 and conflicts = ref 0 in
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun hash ->
+      let src = flat_path ~root hash in
+      let dst = sharded_path ~root hash in
+      if Sys.file_exists dst then
+        (* A sharded twin already exists (an interleaved insert overwrote
+           the key since the scan). The sharded copy is newer; leave the
+           flat one for the caller to inspect rather than deleting data. *)
+        incr conflicts
+      else begin
+        mkdir_p (Filename.dirname dst);
+        Sys.rename src dst;
+        Hashtbl.replace touched (Filename.dirname dst) ();
+        incr moved
+      end)
+    s.flat;
+  (* One rename per entry is atomic; the fsyncs make the batch durable. *)
+  Hashtbl.iter (fun shard () -> fsync_path shard) touched;
+  if !moved > 0 then fsync_path (store_dir root);
+  {
+    moved = !moved;
+    already_sharded = List.length s.hashes - List.length s.flat;
+    conflicts = !conflicts;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Maintenance.                                                        *)
 
-let list_hashes ~root =
-  let dir = store_dir root in
-  if not (Sys.file_exists dir) then []
-  else
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun h -> not (String.starts_with ~prefix:"." h))
-    |> List.sort compare
+let list_hashes ~root = (scan ~root).hashes
 
 (* The static analyzer's verdict on one entry: [Ok] when lint-clean,
    [Error reason] when any ERROR-severity finding fires. A stored kernel is
@@ -447,7 +583,7 @@ let verify_all ?counters ?(lint = false) ~root () =
       | Error reason ->
           quarantine ~root ~hash ~reason;
           Option.iter
-            (fun c -> c.quarantined <- c.quarantined + 1)
+            (fun (c : counters) -> c.quarantined <- c.quarantined + 1)
             counters;
           (hash, Error reason))
     (list_hashes ~root)
@@ -463,8 +599,16 @@ let rec tree_size path =
   if Sys.is_directory path then
     Array.fold_left
       (fun acc f -> acc + tree_size (path / f))
-      0 (Sys.readdir path)
+      0 (readdir path)
   else (Unix.stat path).Unix.st_size
+
+(* Root-relative display path of a store entry, whichever layout it is
+   in: ["store/ab/<hash>"] or the v1 ["store/<hash>"]. *)
+let relative_entry ~root hash =
+  match locate ~root hash with
+  | Some dir when dir = sharded_path ~root hash ->
+      "store" / shard_of_hash hash / hash
+  | _ -> "store" / hash
 
 let gc ?(dry_run = false) ~root () =
   let q = quarantine_dir root in
@@ -473,24 +617,32 @@ let gc ?(dry_run = false) ~root () =
        entry that fails certification would be quarantined and then
        purged by a real run, so it counts as a victim alongside whatever
        already sits in quarantine. *)
+    let s = scan ~root in
     let entries =
       List.map (fun hash -> (hash, Result.is_ok (certified ~root hash)))
-        (list_hashes ~root)
+        s.hashes
     in
     let kept = List.length (List.filter snd entries) in
     let failing =
       List.filter_map (fun (h, ok) -> if ok then None else Some h) entries
     in
     let quarantined =
-      if Sys.file_exists q then List.sort compare (Array.to_list (Sys.readdir q))
+      if Sys.file_exists q then List.sort compare (Array.to_list (readdir q))
       else []
     in
     let victims =
-      List.map (fun h -> "store/" ^ h) failing
+      List.map (fun h -> relative_entry ~root h) failing
       @ List.map (fun h -> "quarantine/" ^ h) quarantined
     in
     let reclaimed_bytes =
-      List.fold_left (fun acc h -> acc + tree_size (store_dir root / h)) 0 failing
+      List.fold_left
+        (fun acc h ->
+          acc
+          + tree_size
+              (match locate ~root h with
+              | Some dir -> dir
+              | None -> flat_path ~root h))
+        0 failing
       + List.fold_left
           (fun acc h -> acc + tree_size (q / h))
           0 quarantined
@@ -504,7 +656,7 @@ let gc ?(dry_run = false) ~root () =
     in
     if Sys.file_exists q then begin
       let victims =
-        List.sort compare (Array.to_list (Sys.readdir q))
+        List.sort compare (Array.to_list (readdir q))
         |> List.map (fun h -> "quarantine/" ^ h)
       in
       let reclaimed_bytes = tree_size q in

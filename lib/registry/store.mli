@@ -1,12 +1,21 @@
 (** Content-addressed, verified on-disk kernel store.
 
-    Layout under a root directory:
+    Layout under a root directory (v2, {e sharded}):
     {v
-    <root>/store/<hash>/kernel.txt   Isa.Program.to_string form
-    <root>/store/<hash>/meta.json    key + length + stats digest + cost
-    <root>/quarantine/<hash>[.N]/    failed entries, plus a reason.txt
+    <root>/store/<hh>/<hash>/kernel.txt   Isa.Program.to_string form
+    <root>/store/<hh>/<hash>/meta.json    key + length + stats digest + cost
+    <root>/quarantine/<hash>[.N]/         failed entries, plus a reason.txt
     v}
-    where [<hash>] is {!Key.hash} of the request. Inserts are crash-safe:
+    where [<hash>] is {!Key.hash} of the request and [<hh>] its first two
+    hex digits — the MD5 keyspace fans out across up to 256 prefix
+    directories, so maintenance scans readdir 1/256th of the store at a
+    time instead of one directory holding every entry. The flat v1 layout
+    ([<root>/store/<hash>/]) remains fully readable: every load checks
+    the shard position first and falls back to the flat one, and
+    {!migrate} renames flat entries into their shards ([synth registry
+    migrate]). New inserts always publish sharded.
+
+    Inserts are crash-safe:
     staged in a temp directory, fsynced file-by-file (and the directory
     itself), then renamed into place — so a crash at any instant leaves
     either no entry or a complete one, never a half-written one that could
@@ -81,6 +90,14 @@ val default_root : unit -> string
     in the working directory. *)
 
 val entry_dir : root:string -> Key.t -> string
+(** The directory the key's entry lives in (sharded position first, then
+    the flat v1 one); the would-be sharded position when absent. *)
+
+val readdir_calls : unit -> int
+(** Directory scans this process has performed inside the store layer,
+    ever — the daemon's proof that a warm in-memory lookup touched no
+    directory at all ([stats] exports the delta). Monotone; compare two
+    readings, never the absolute value. *)
 
 val lookup : ?counters:counters -> root:string -> Key.t -> lookup
 (** Verified load. [Hit] entries have been re-certified just now;
@@ -122,8 +139,40 @@ val recover : ?counters:counters -> root:string -> unit -> recovery
     serving — the CLI's [--cache] path, [run_batch], the registry
     maintenance commands — run this first. *)
 
+type scan = {
+  hashes : string list;  (** All entry hashes, both layouts, sorted. *)
+  flat : string list;  (** The subset still in the flat v1 position. *)
+  tmp : string list;  (** Torn [.tmp-*] staging dirs (full paths). *)
+  shards : int;  (** Shard directories present. *)
+  quarantined : int;  (** Directories in the quarantine area. *)
+}
+(** Everything one walk of the store tree can tell without opening a
+    single file: entry names by layout, torn staging directories, and the
+    quarantine population. The single source for [registry list]'s
+    counts, {!verify_all}, {!gc}, and {!recover} — none of them makes a
+    second readdir pass over the same directories, and counting requires
+    no [meta.json] reads at all. *)
+
+val scan : root:string -> scan
+
 val list_hashes : root:string -> string list
-(** Sorted entry hashes currently in the store (no verification). *)
+(** Sorted entry hashes currently in the store (no verification); both
+    layouts. [(scan ~root).hashes]. *)
+
+type migration = {
+  moved : int;  (** Flat entries renamed into their shard. *)
+  already_sharded : int;  (** Entries that were already in v2 position. *)
+  conflicts : int;
+      (** Flat entries left untouched because a sharded twin appeared
+          (an interleaved insert); the sharded copy is newer and wins
+          every lookup, the flat one is reported, not deleted. *)
+}
+
+val migrate : root:string -> unit -> migration
+(** Rename every flat v1 entry into its shard directory. Each move is a
+    single same-filesystem rename (atomic — a crash mid-migration leaves
+    every entry in exactly one of its two positions, and both positions
+    are always readable), followed by directory fsyncs. Idempotent. *)
 
 val load_unverified : root:string -> string -> (entry, string) result
 (** Read an entry by hash without certification or quarantine — for
@@ -153,8 +202,9 @@ type gc_report = {
   victims : string list;
       (** What was (or would be) removed, root-relative
           (["quarantine/<hash>"]; dry runs also list the
-          ["store/<hash>"] entries that would fail certification and be
-          swept). Sorted within each area. *)
+          ["store/<hh>/<hash>"] — or flat ["store/<hash>"] — entries
+          that would fail certification and be swept). Sorted within
+          each area. *)
 }
 
 val gc : ?dry_run:bool -> root:string -> unit -> gc_report

@@ -1,7 +1,14 @@
 let ints a =
   String.concat " " (Array.to_list (Array.map string_of_int a))
 
+(* How many full n!-permutation certifications this process has run —
+   the daemon's proof that a warm in-memory hit skipped re-certification
+   (the entry was certified at admission instead). *)
+let certify_counter = Atomic.make 0
+let certifications () = Atomic.get certify_counter
+
 let certify cfg p =
+  Atomic.incr certify_counter;
   match Machine.Exec.counterexample cfg p with
   | None -> Ok ()
   | Some input ->

@@ -9,3 +9,8 @@ val certify : Isa.Config.t -> Isa.Program.t -> (unit, string) result
 (** [Ok ()] iff the program sorts all permutations. The error message
     names the first failing input and the produced output — suitable for
     printing verbatim as a diagnostic. *)
+
+val certifications : unit -> int
+(** Full [n!]-permutation certifications run by this process, ever —
+    the daemon exports the delta so a warm cache hit can be shown to
+    have skipped re-certification. Monotone; compare readings. *)

@@ -1,0 +1,46 @@
+(* Thin blocking client for the synthesis daemon.
+
+   Every failure — no socket, refused connection, torn response, JSON
+   that does not parse — comes back as Error with a human-readable
+   message; the CLI maps all of them to exit code 5 (server unreachable
+   or protocol error). *)
+
+type connection = { ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot create socket: %s" (Unix.error_message e))
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> Ok { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)))
+
+let close c =
+  (try close_out_noerr c.oc with _ -> ());
+  close_in_noerr c.ic
+
+let request c req =
+  match
+    output_string c.oc (Protocol.request_line req);
+    flush c.oc
+  with
+  | exception Sys_error msg -> Error (Printf.sprintf "send failed: %s" msg)
+  | () -> (
+      match input_line c.ic with
+      | exception End_of_file ->
+          Error "connection closed mid-response (torn or server gone)"
+      | exception Sys_error msg -> Error (Printf.sprintf "receive failed: %s" msg)
+      | line -> (
+          match Protocol.parse_response line with
+          | Ok resp -> Ok resp
+          | Error msg -> Error (Printf.sprintf "protocol error: %s" msg)))
+
+let roundtrip ~socket req =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> close c) (fun () -> request c req)

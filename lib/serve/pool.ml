@@ -1,0 +1,109 @@
+(* Persistent Domain worker pool for the synthesis daemon.
+
+   Batch mode spawns domains per invocation and joins them at the end;
+   a long-lived service cannot afford that — domain spawn is milliseconds
+   and the pool exists for the life of the process. Workers block on a
+   condition variable, claim closures off a queue, and never touch the
+   store: jobs return values through a per-job cell, and all persistence
+   happens on the submitting connection thread.
+
+   The serve.worker_death fault site is honoured at the moment a worker
+   picks a job up: the job completes exceptionally with Worker_died, the
+   death is counted, and the worker keeps serving — one request fails,
+   the pool does not shrink. *)
+
+exception Worker_died
+exception Pool_stopped
+
+type job = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stop : bool;
+  mutable handles : unit Domain.t list;
+  workers : int;
+  deaths : int Atomic.t;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping *)
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      handles = [];
+      workers;
+      deaths = Atomic.make 0;
+    }
+  in
+  t.handles <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.workers
+let worker_deaths t = Atomic.get t.deaths
+
+let run t f =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let cell = ref None in
+  let job () =
+    let outcome =
+      if Fault.fire Fault.Serve_worker_death then begin
+        Atomic.incr t.deaths;
+        Error Worker_died
+      end
+      else match f () with v -> Ok v | exception e -> Error e
+    in
+    Mutex.lock m;
+    cell := Some outcome;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    Error Pool_stopped
+  end
+  else begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    Mutex.lock m;
+    while !cell = None do
+      Condition.wait c m
+    done;
+    let outcome = Option.get !cell in
+    Mutex.unlock m;
+    outcome
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.handles;
+    t.handles <- []
+  end
+  else Mutex.unlock t.mutex

@@ -1,0 +1,35 @@
+(** Persistent [Domain] worker pool.
+
+    The daemon's CPU-bound half: searches run on a fixed set of domains
+    spawned once at startup, while connection threads (cheap, blocking
+    I/O) submit closures and sleep until their result is filled in. This
+    reuses the scheduler's execution discipline — the closure a server
+    submits is {!Registry.Scheduler.run_one}, so a daemon request walks
+    the identical degradation ladder, backoff schedule, and per-attempt
+    deadline as a batch job — without the per-batch spawn/join cost.
+
+    Workers never touch the store; persistence stays on the submitting
+    thread, exactly like [run_batch]'s main-domain merge pass. *)
+
+exception Worker_died
+(** The [serve.worker_death] fault site fired as a worker claimed the
+    job: the request fails, the death is counted, and the worker keeps
+    serving — the pool never shrinks. *)
+
+exception Pool_stopped
+(** Submitted after {!shutdown}. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [max 1 workers] domains that live until {!shutdown}. *)
+
+val run : t -> (unit -> 'a) -> ('a, exn) result
+(** Submit a closure and block until a worker has run it. Exceptions the
+    closure raises come back as [Error] — they never kill the worker. *)
+
+val size : t -> int
+val worker_deaths : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting jobs, drain the queue, join every worker. Idempotent. *)

@@ -1,0 +1,243 @@
+(* Newline-delimited JSON protocol for the synthesis daemon.
+
+   One request object per line, one response object per line, over a
+   Unix domain socket. Both ends build on Registry.Json — the same
+   parser the registry trusts for its metadata records — so the daemon
+   introduces no second JSON dialect. *)
+
+module Json = Registry.Json
+module Key = Registry.Key
+
+type synth_params = {
+  timeout : float option;
+  budget : int option;
+  retries : int;
+  backoff : float;
+  optimize : bool;
+}
+
+let default_params =
+  { timeout = None; budget = None; retries = 1; backoff = 0.05; optimize = false }
+
+type request =
+  | Lookup of Key.t
+  | Synth of Key.t * synth_params
+  | Batch of Key.t list * synth_params
+  | Stats
+  | Shutdown
+
+type served = {
+  status : string;
+  source : string option;
+  canonical : string;
+  kernel : string option;
+  length : int option;
+  degraded : bool;
+  rung : int;
+  attempts : int;
+  elapsed : float;
+  coalesced : bool;
+  error : string option;
+}
+
+type response =
+  | Served of served
+  | Jobs of served list
+  | Snapshot of Json.t
+  | Goodbye
+  | Refused of string
+
+(* ---------- requests ---------- *)
+
+let params_fields p =
+  List.concat
+    [
+      (match p.timeout with Some s -> [ ("timeout", Json.Float s) ] | None -> []);
+      (match p.budget with Some b -> [ ("budget", Json.Int b) ] | None -> []);
+      [ ("retries", Json.Int p.retries) ];
+      [ ("backoff", Json.Float p.backoff) ];
+      [ ("optimize", Json.Bool p.optimize) ];
+    ]
+
+let request_to_json = function
+  | Lookup key -> Json.Obj [ ("op", Json.Str "lookup"); ("key", Key.to_json key) ]
+  | Synth (key, p) ->
+      Json.Obj (("op", Json.Str "synth") :: ("key", Key.to_json key) :: params_fields p)
+  | Batch (keys, p) ->
+      Json.Obj
+        (("op", Json.Str "batch")
+        :: ("jobs", Json.Arr (List.map Key.to_json keys))
+        :: params_fields p)
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+let ( let* ) = Result.bind
+
+let params_of_json j =
+  let field name conv default =
+    match Json.member name j with
+    | None | Some Json.Null -> Ok default
+    | Some v -> conv v
+  in
+  let* timeout =
+    field "timeout" (fun v -> Result.map Option.some (Json.to_float v)) None
+  in
+  let* budget = field "budget" (fun v -> Result.map Option.some (Json.to_int v)) None in
+  let* retries = field "retries" Json.to_int default_params.retries in
+  let* backoff = field "backoff" Json.to_float default_params.backoff in
+  let* optimize =
+    field "optimize"
+      (function Json.Bool b -> Ok b | _ -> Error "optimize: expected bool")
+      default_params.optimize
+  in
+  if retries < 0 then Error "retries: must be >= 0"
+  else if backoff < 0. then Error "backoff: must be >= 0"
+  else Ok { timeout; budget; retries; backoff; optimize }
+
+let request_of_json j =
+  match Json.member "op" j with
+  | None -> Error "request: missing \"op\""
+  | Some op -> (
+      let* op = Json.to_str op in
+      match op with
+      | "lookup" | "synth" -> (
+          match Json.member "key" j with
+          | None -> Error (Printf.sprintf "%s: missing \"key\"" op)
+          | Some kj ->
+              let* key = Key.of_json kj in
+              if op = "lookup" then Ok (Lookup key)
+              else
+                let* p = params_of_json j in
+                Ok (Synth (key, p)))
+      | "batch" -> (
+          match Json.member "jobs" j with
+          | None -> Error "batch: missing \"jobs\""
+          | Some jobs ->
+              let* jobs = Json.to_list jobs in
+              let* keys =
+                List.fold_left
+                  (fun acc kj ->
+                    let* acc = acc in
+                    let* key = Key.of_json kj in
+                    Ok (key :: acc))
+                  (Ok []) jobs
+              in
+              let* p = params_of_json j in
+              Ok (Batch (List.rev keys, p)))
+      | "stats" -> Ok Stats
+      | "shutdown" -> Ok Shutdown
+      | other -> Error (Printf.sprintf "request: unknown op %S" other))
+
+let parse_request line =
+  let* j = Json.parse line in
+  request_of_json j
+
+(* ---------- responses ---------- *)
+
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+let opt_int = function Some i -> Json.Int i | None -> Json.Null
+
+let served_fields s =
+  [
+    ("status", Json.Str s.status);
+    ("source", opt_str s.source);
+    ("canonical", Json.Str s.canonical);
+    ("kernel", opt_str s.kernel);
+    ("length", opt_int s.length);
+    ("degraded", Json.Bool s.degraded);
+    ("rung", Json.Int s.rung);
+    ("attempts", Json.Int s.attempts);
+    ("elapsed_s", Json.Float s.elapsed);
+    ("coalesced", Json.Bool s.coalesced);
+    ("error", opt_str s.error);
+  ]
+
+let response_to_json = function
+  | Served s ->
+      Json.Obj (("ok", Json.Bool true) :: ("type", Json.Str "served") :: served_fields s)
+  | Jobs jobs ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("type", Json.Str "jobs");
+          ("jobs", Json.Arr (List.map (fun s -> Json.Obj (served_fields s)) jobs));
+        ]
+  | Snapshot j ->
+      Json.Obj [ ("ok", Json.Bool true); ("type", Json.Str "stats"); ("stats", j) ]
+  | Goodbye -> Json.Obj [ ("ok", Json.Bool true); ("type", Json.Str "goodbye") ]
+  | Refused msg -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let served_of_json j =
+  let str name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "served: missing %S" name)
+  in
+  let ostr name =
+    match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let oint name =
+    match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let bool name =
+    match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+  in
+  let num name default =
+    match Json.member name j with
+    | Some v -> ( match Json.to_float v with Ok f -> f | Error _ -> default)
+    | None -> default
+  in
+  let* status = str "status" in
+  let* canonical = str "canonical" in
+  Ok
+    {
+      status;
+      source = ostr "source";
+      canonical;
+      kernel = ostr "kernel";
+      length = oint "length";
+      degraded = bool "degraded";
+      rung = (match oint "rung" with Some r -> r | None -> 0);
+      attempts = (match oint "attempts" with Some a -> a | None -> 0);
+      elapsed = num "elapsed_s" 0.;
+      coalesced = bool "coalesced";
+      error = ostr "error";
+    }
+
+let response_of_json j =
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some (Json.Str msg) -> Ok (Refused msg)
+      | _ -> Ok (Refused "unspecified server error"))
+  | Some (Json.Bool true) -> (
+      match Json.member "type" j with
+      | Some (Json.Str "served") -> Result.map (fun s -> Served s) (served_of_json j)
+      | Some (Json.Str "jobs") -> (
+          match Json.member "jobs" j with
+          | Some (Json.Arr jobs) ->
+              let* served =
+                List.fold_left
+                  (fun acc sj ->
+                    let* acc = acc in
+                    let* s = served_of_json sj in
+                    Ok (s :: acc))
+                  (Ok []) jobs
+              in
+              Ok (Jobs (List.rev served))
+          | _ -> Error "jobs response: missing \"jobs\" array")
+      | Some (Json.Str "stats") -> (
+          match Json.member "stats" j with
+          | Some stats -> Ok (Snapshot stats)
+          | None -> Error "stats response: missing \"stats\"")
+      | Some (Json.Str "goodbye") -> Ok Goodbye
+      | Some (Json.Str other) -> Error (Printf.sprintf "response: unknown type %S" other)
+      | _ -> Error "response: missing \"type\"")
+  | _ -> Error "response: missing \"ok\""
+
+let parse_response line =
+  let* j = Json.parse line in
+  response_of_json j
+
+let request_line r = Json.to_string (request_to_json r) ^ "\n"
+let response_line r = Json.to_string (response_to_json r) ^ "\n"

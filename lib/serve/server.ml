@@ -1,0 +1,425 @@
+(* The synthesis daemon: request handling, coalescing, and the socket
+   accept loop.
+
+   Threading model: connection I/O runs on cheap [Thread]s (blocking
+   reads release the runtime lock, so hundreds can sleep on sockets),
+   CPU-bound searches run on the persistent [Pool] of domains, and every
+   store access — lookup, insert, recover — is serialized under one
+   mutex on the submitting thread, mirroring run_batch's rule that
+   workers never touch the disk. The LRU has its own lock; lock order is
+   always flights → store → lru, never the reverse. *)
+
+module Key = Registry.Key
+module Store = Registry.Store
+module Verify = Registry.Verify
+module Scheduler = Registry.Scheduler
+module Json = Registry.Json
+
+type config = {
+  socket_path : string;
+  root : string;
+  capacity : int;
+  workers : int;
+}
+
+(* One in-flight synthesis: later identical requests park on the
+   condition variable and share the leader's result. *)
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable outcome : Protocol.served option;
+}
+
+type t = {
+  cfg : config;
+  lru : Lru.t;
+  pool : Pool.t;
+  store_counters : Store.counters;
+  store_mutex : Mutex.t;
+  flights : (string, flight) Hashtbl.t;
+  flight_mutex : Mutex.t;
+  requests : int Atomic.t;
+  coalesced : int Atomic.t;
+  searches : int Atomic.t;
+  inflight : int Atomic.t;
+  recover_runs : int Atomic.t;
+  torn_connections : int Atomic.t;
+  connections : int Atomic.t;
+  stop : bool Atomic.t;
+  started : float;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* store_mutex must be held. *)
+let recover_locked t =
+  ignore (Store.recover ~counters:t.store_counters ~root:t.cfg.root ());
+  Atomic.incr t.recover_runs
+
+let create cfg =
+  let t =
+    {
+      cfg;
+      lru = Lru.create ~capacity:cfg.capacity;
+      pool = Pool.create ~workers:cfg.workers;
+      store_counters = Store.fresh_counters ();
+      store_mutex = Mutex.create ();
+      flights = Hashtbl.create 16;
+      flight_mutex = Mutex.create ();
+      requests = Atomic.make 0;
+      coalesced = Atomic.make 0;
+      searches = Atomic.make 0;
+      inflight = Atomic.make 0;
+      recover_runs = Atomic.make 0;
+      torn_connections = Atomic.make 0;
+      connections = Atomic.make 0;
+      stop = Atomic.make false;
+      started = Fault.Clock.now ();
+    }
+  in
+  (* Crash recovery once at open, before the first request can load a
+     torn entry. *)
+  locked t.store_mutex (fun () -> recover_locked t);
+  t
+
+let destroy t = Pool.shutdown t.pool
+let stopped t = Atomic.get t.stop
+
+(* ---------- building served records ---------- *)
+
+let kernel_text key p = Isa.Program.to_string (Key.config key) p
+
+let served_of_entry ~source ~elapsed key (e : Store.entry) =
+  {
+    Protocol.status = "cached";
+    source = Some source;
+    canonical = Key.canonical key;
+    kernel = Some (kernel_text e.Store.key e.Store.program);
+    length = Some e.Store.length;
+    degraded = false;
+    rung = 0;
+    attempts = 0;
+    elapsed;
+    coalesced = false;
+    error = None;
+  }
+
+let miss ~elapsed ?error key =
+  {
+    Protocol.status = "miss";
+    source = None;
+    canonical = Key.canonical key;
+    kernel = None;
+    length = None;
+    degraded = false;
+    rung = 0;
+    attempts = 0;
+    elapsed;
+    coalesced = false;
+    error;
+  }
+
+let job_error (r : Scheduler.job_result) =
+  match r.Scheduler.status with
+  | Scheduler.Failed msg -> Some msg
+  | Scheduler.Exhausted { live; budget } ->
+      Some
+        (match budget with
+        | Some b -> Printf.sprintf "state budget exhausted (%d live, budget %d)" live b
+        | None -> Printf.sprintf "state budget exhausted (%d live)" live)
+  | Scheduler.Timed_out -> Some "every attempt hit the deadline"
+  | Scheduler.Crashed -> Some "worker died mid-request"
+  | Scheduler.Cached | Scheduler.Synthesized -> None
+
+let served_of_job (r : Scheduler.job_result) =
+  {
+    Protocol.status = Scheduler.status_string r.Scheduler.status;
+    source =
+      (match r.Scheduler.status with
+      | Scheduler.Synthesized -> Some "search"
+      | _ -> None);
+    canonical = Key.canonical r.Scheduler.key;
+    kernel = Option.map (kernel_text r.Scheduler.key) r.Scheduler.program;
+    length = r.Scheduler.length;
+    degraded = r.Scheduler.degraded;
+    rung = r.Scheduler.rung;
+    attempts = r.Scheduler.attempts;
+    elapsed = r.Scheduler.elapsed;
+    coalesced = false;
+    error = job_error r;
+  }
+
+(* ---------- request handling ---------- *)
+
+let lookup_one t key =
+  let start = Fault.Clock.now () in
+  let canonical = Key.canonical key in
+  match Lru.find t.lru canonical with
+  | Some e -> served_of_entry ~source:"memory" ~elapsed:(Fault.Clock.now () -. start) key e
+  | None ->
+      locked t.store_mutex (fun () ->
+          match Store.lookup ~counters:t.store_counters ~root:t.cfg.root key with
+          | Store.Hit e ->
+              (* The load above just re-certified on all n! permutations:
+                 admission is the certificate. *)
+              Lru.add t.lru canonical e;
+              served_of_entry ~source:"disk" ~elapsed:(Fault.Clock.now () -. start) key e
+          | Store.Miss -> miss ~elapsed:(Fault.Clock.now () -. start) key
+          | Store.Quarantined reason ->
+              Lru.remove t.lru canonical;
+              recover_locked t;
+              miss ~elapsed:(Fault.Clock.now () -. start) ~error:reason key)
+
+(* The leader's path: disk, then a pool search, then persist + admit. *)
+let synth_leader t key (p : Protocol.synth_params) =
+  let start = Fault.Clock.now () in
+  let canonical = Key.canonical key in
+  let from_disk =
+    locked t.store_mutex (fun () ->
+        match Store.lookup ~counters:t.store_counters ~root:t.cfg.root key with
+        | Store.Hit e ->
+            Lru.add t.lru canonical e;
+            Some (served_of_entry ~source:"disk" ~elapsed:(Fault.Clock.now () -. start) key e)
+        | Store.Miss -> None
+        | Store.Quarantined _ ->
+            (* The broken entry is already aside; sweep for siblings and
+               fall through to a fresh synthesis. *)
+            Lru.remove t.lru canonical;
+            recover_locked t;
+            None)
+  in
+  match from_disk with
+  | Some served -> served
+  | None -> (
+      Atomic.incr t.searches;
+      let job () =
+        Scheduler.run_one ~optimize:p.Protocol.optimize ~timeout:p.Protocol.timeout
+          ~retries:p.Protocol.retries ~backoff:p.Protocol.backoff
+          ~budget:p.Protocol.budget key
+      in
+      match Pool.run t.pool job with
+      | Error Pool.Worker_died ->
+          {
+            (miss ~elapsed:(Fault.Clock.now () -. start) ~error:"worker died mid-request" key)
+            with
+            Protocol.status = "crashed";
+          }
+      | Error e ->
+          {
+            (miss ~elapsed:(Fault.Clock.now () -. start) ~error:(Printexc.to_string e) key)
+            with
+            Protocol.status = "failed";
+          }
+      | Ok r ->
+          (match (r.Scheduler.status, r.Scheduler.search) with
+          | Scheduler.Synthesized, Some search ->
+              (* Same provenance rule as run_batch's merge pass: when the
+                 optimizer rewrote the kernel, store the rewrite and
+                 record the original's digest. *)
+              let provenance, search =
+                match (r.Scheduler.program, search.Search.programs) with
+                | Some prog, orig :: rest
+                  when r.Scheduler.opt_passes <> []
+                       && not (Isa.Program.equal prog orig) ->
+                    ( Some
+                        {
+                          Store.optimized_from =
+                            Digest.to_hex
+                              (Digest.string (kernel_text key orig));
+                          passes = r.Scheduler.opt_passes;
+                        },
+                      { search with Search.programs = prog :: rest } )
+                | _ -> (None, search)
+              in
+              locked t.store_mutex (fun () ->
+                  match
+                    Store.insert ~counters:t.store_counters
+                      ~degraded:r.Scheduler.degraded ?provenance ~root:t.cfg.root
+                      key search
+                  with
+                  | Ok entry -> Lru.add t.lru canonical entry
+                  | Error _ -> ())
+          | _ -> ());
+          served_of_job r)
+
+let synth_one t key p =
+  let canonical = Key.canonical key in
+  match Lru.find t.lru canonical with
+  | Some e ->
+      let start = Fault.Clock.now () in
+      served_of_entry ~source:"memory" ~elapsed:(Fault.Clock.now () -. start) key e
+  | None -> (
+      let role =
+        locked t.flight_mutex (fun () ->
+            match Hashtbl.find_opt t.flights canonical with
+            | Some fl ->
+                Atomic.incr t.coalesced;
+                `Join fl
+            | None ->
+                let fl =
+                  { fm = Mutex.create (); fc = Condition.create (); outcome = None }
+                in
+                Hashtbl.replace t.flights canonical fl;
+                `Lead fl)
+      in
+      match role with
+      | `Join fl ->
+          locked fl.fm (fun () ->
+              while fl.outcome = None do
+                Condition.wait fl.fc fl.fm
+              done;
+              { (Option.get fl.outcome) with Protocol.coalesced = true })
+      | `Lead fl ->
+          let served =
+            try synth_leader t key p
+            with e ->
+              {
+                (miss ~elapsed:0. ~error:(Printexc.to_string e) key) with
+                Protocol.status = "failed";
+              }
+          in
+          locked t.flight_mutex (fun () -> Hashtbl.remove t.flights canonical);
+          locked fl.fm (fun () ->
+              fl.outcome <- Some served;
+              Condition.broadcast fl.fc);
+          served)
+
+let snapshot t =
+  let ls = Lru.stats t.lru in
+  let registry =
+    locked t.store_mutex (fun () ->
+        let c = t.store_counters in
+        Json.Obj
+          [
+            ("hits", Json.Int c.Store.hits);
+            ("misses", Json.Int c.Store.misses);
+            ("quarantined", Json.Int c.Store.quarantined);
+            ("inserted", Json.Int c.Store.inserted);
+            ("recovered", Json.Int c.Store.recovered);
+          ])
+  in
+  Json.Obj
+    [
+      ( "serve",
+        Json.Obj
+          [
+            ("requests", Json.Int (Atomic.get t.requests));
+            ("cache_hits", Json.Int ls.Lru.hits);
+            ("cache_misses", Json.Int ls.Lru.misses);
+            ("coalesced", Json.Int (Atomic.get t.coalesced));
+            ("evictions", Json.Int ls.Lru.evictions);
+            ("inflight", Json.Int (Atomic.get t.inflight));
+            ("searches", Json.Int (Atomic.get t.searches));
+            ("recover_runs", Json.Int (Atomic.get t.recover_runs));
+            ("worker_deaths", Json.Int (Pool.worker_deaths t.pool));
+            ("torn_connections", Json.Int (Atomic.get t.torn_connections));
+            ("connections", Json.Int (Atomic.get t.connections));
+            ("lru_size", Json.Int ls.Lru.size);
+            ("lru_capacity", Json.Int (Lru.capacity t.lru));
+            ("workers", Json.Int (Pool.size t.pool));
+            ("uptime_s", Json.Float (Fault.Clock.now () -. t.started));
+          ] );
+      ("registry", registry);
+      ( "process",
+        Json.Obj
+          [
+            ("readdir_calls", Json.Int (Store.readdir_calls ()));
+            ("certifications", Json.Int (Verify.certifications ()));
+          ] );
+    ]
+
+let handle t req =
+  Atomic.incr t.requests;
+  Atomic.incr t.inflight;
+  Fun.protect
+    ~finally:(fun () -> ignore (Atomic.fetch_and_add t.inflight (-1)))
+    (fun () ->
+      match req with
+      | Protocol.Lookup key -> Protocol.Served (lookup_one t key)
+      | Protocol.Synth (key, p) -> Protocol.Served (synth_one t key p)
+      | Protocol.Batch (keys, p) ->
+          Protocol.Jobs (List.map (fun k -> synth_one t k p) keys)
+      | Protocol.Stats -> Protocol.Snapshot (snapshot t)
+      | Protocol.Shutdown ->
+          Atomic.set t.stop true;
+          Protocol.Goodbye)
+
+(* ---------- socket layer ---------- *)
+
+(* Wake the accept loop after the stop flag is up: a throwaway
+   self-connection is the one portable way to unblock accept(2). *)
+let wake_accept t =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | fd ->
+      (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let serve_connection t fd =
+  Atomic.incr t.connections;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    (* serve.slow_client: a client that dribbles its request in. *)
+    if Fault.fire Fault.Serve_slow_client then (
+      try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        let resp =
+          match Protocol.parse_request line with
+          | Error msg -> Protocol.Refused ("bad request: " ^ msg)
+          | Ok req -> (
+              try handle t req
+              with e -> Protocol.Refused (Printexc.to_string e))
+        in
+        let wire = Protocol.response_line resp in
+        if Fault.fire Fault.Serve_torn_connection then begin
+          (* Write half the response and hang up mid-line. The client
+             sees a protocol error; nothing server-side is dirtied —
+             the store write (if any) already committed under its own
+             fsync-before-rename discipline, the LRU entry is whole. *)
+          Atomic.incr t.torn_connections;
+          (try
+             output_string oc (String.sub wire 0 (String.length wire / 2));
+             flush oc
+           with Sys_error _ -> ())
+        end
+        else begin
+          (match output_string oc wire; flush oc with
+          | () -> ()
+          | exception Sys_error _ -> ());
+          match resp with
+          | Protocol.Goodbye -> wake_accept t
+          | _ -> loop ()
+        end
+  in
+  (try loop () with _ -> ());
+  (try close_out_noerr oc with _ -> ());
+  close_in_noerr ic
+
+let run ?(on_ready = fun () -> ()) t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind fd (Unix.ADDR_UNIX t.cfg.socket_path);
+  Unix.listen fd 64;
+  on_ready ();
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | cfd, _ ->
+        if Atomic.get t.stop then (try Unix.close cfd with Unix.Unix_error _ -> ())
+        else begin
+          ignore (Thread.create (fun () -> serve_connection t cfd) ());
+          accept_loop ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  accept_loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  destroy t

@@ -1,0 +1,63 @@
+(** The synthesis daemon.
+
+    A long-lived process that owns one registry root and serves kernel
+    requests over a Unix domain socket ({!Protocol}). Three layers:
+
+    - {b Memory}: a bounded {!Lru} over certified entries. A warm hit
+      costs a hashtable probe — zero directory scans and zero [n!]
+      re-certifications, provable from the [stats] deltas of
+      {!Registry.Store.readdir_calls} and
+      {!Registry.Verify.certifications}.
+    - {b Disk}: the sharded {!Registry.Store}, every access serialized
+      on the connection threads under one mutex (workers never touch
+      the disk, exactly like [run_batch]). {!Registry.Store.recover}
+      runs once at open and again after any quarantine event.
+    - {b Search}: a persistent {!Pool} of domains running
+      {!Registry.Scheduler.run_one}, so a daemon miss gets the same
+      degradation ladder, backoff, and deadline plumbing as a batch job.
+
+    Identical concurrent misses are {e coalesced}: one search runs, the
+    other requests park on the leader's flight and share its result
+    (their responses carry [coalesced:true]).
+
+    Failure model: the [serve.torn_connection] fault site hangs up
+    mid-response (client-visible protocol error, server state untouched),
+    [serve.slow_client] stalls a read, [serve.worker_death] kills the
+    job — never the pool. *)
+
+type config = {
+  socket_path : string;
+  root : string;  (** Registry root this daemon owns. *)
+  capacity : int;  (** LRU capacity; [0] disables the memory layer. *)
+  workers : int;  (** Search domains ([max 1]). *)
+}
+
+type t
+
+val create : config -> t
+(** Open the registry (running crash recovery) and spawn the worker
+    pool. No socket yet — {!handle} works in-process, which is how the
+    tests drive the server. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Serve one request. Thread-safe; never raises. [Shutdown] flips the
+    stop flag and answers [Goodbye]. *)
+
+val stopped : t -> bool
+
+val snapshot : t -> Registry.Json.t
+(** The [stats] response body: [serve] counters (requests, cache_hits,
+    cache_misses, coalesced, evictions, inflight, searches,
+    recover_runs, worker_deaths, torn_connections, connections, LRU
+    occupancy, uptime), the session's [registry] counters, and the
+    process-wide [readdir_calls] / [certifications] monotone counters. *)
+
+val run : ?on_ready:(unit -> unit) -> t -> unit
+(** Bind the socket, call [on_ready], and accept until a [Shutdown]
+    request lands. One thread per connection; a connection serves any
+    number of newline-delimited requests. Unlinks the socket and joins
+    the worker pool before returning. *)
+
+val destroy : t -> unit
+(** Join the worker pool (for in-process users that never call {!run}).
+    Idempotent. *)

@@ -5,9 +5,10 @@
 #
 # SMOKE_ONLY=chaos runs only the fault-injection / crash-recovery
 # section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section;
-# SMOKE_ONLY=bench runs only the search-throughput regression gate
-# (each used by the matching CI job, which has already built and tested).
-# The default runs everything.
+# SMOKE_ONLY=serve runs only the synthesis-daemon section; SMOKE_ONLY=bench
+# runs only the search-throughput regression gate (each used by the
+# matching CI job, which has already built and tested). The default runs
+# everything.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -151,14 +152,16 @@ dune exec bin/synth.exe -- batch "$jobs" --cache-dir "$reg" \
     --fault-plan 'seed=42;registry.rename=nth:1' \
   | grep -q "0 inserted" \
   || { echo "faulted batch unexpectedly published its entry" >&2; exit 1; }
-ls "$reg"/store/.tmp-* > /dev/null 2>&1 \
+# Inserts stage inside the entry's shard since the v2 layout, so the
+# torn dir lives one level down.
+find "$reg/store" -maxdepth 2 -name '.tmp-*' | grep -q . \
   || { echo "injected rename crash left no torn staging dir" >&2; exit 1; }
 # The next (un-faulted) batch must recover the torn dir at open, miss,
 # re-synthesize, and publish cleanly.
 dune exec bin/synth.exe -- batch "$jobs" --cache-dir "$reg" \
   | grep -q "# registry: 0 hits, 1 misses, 0 quarantined, 1 inserted, 1 recovered" \
   || { echo "batch after the crash did not recover + reinsert" >&2; exit 1; }
-if ls "$reg"/store/.tmp-* > /dev/null 2>&1; then
+if find "$reg/store" -maxdepth 2 -name '.tmp-*' | grep -q .; then
   echo "torn staging dir survived recovery" >&2; exit 1
 fi
 # The recovered store is fully servable and certifies end to end.
@@ -188,6 +191,120 @@ echo "$crash_out" | grep -q "CRASHED" \
 rm -rf "$reg" "$jobs"
 
 fi # SMOKE_ONLY=chaos guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "serve" ]; then
+
+echo "== synthesis daemon: LRU, coalescing, sharded registry =="
+dune build bin/synth.exe
+synth="_build/default/bin/synth.exe"
+servedir="${TMPDIR:-/tmp}/sortsynth-serve-smoke"
+rm -rf "$servedir"; mkdir -p "$servedir"
+sock="$servedir/synthd.sock"
+reg="$servedir/registry"
+statsf="$servedir/final-stats.json"
+"$synth" serve --socket "$sock" --cache-dir "$reg" --stats-json "$statsf" \
+  > "$servedir/serve.log" 2>&1 &
+serve_pid=$!
+# The daemon prints its ready line after binding; the socket appearing is
+# the machine-checkable version of the same signal.
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "daemon never bound its socket" >&2; exit 1; }
+  sleep 0.1
+done
+# Extract one integer counter from a stats snapshot.
+counter() { grep -o "\"$2\":[0-9]*" "$1" | head -1 | cut -d: -f2; }
+# Cold request: a real search, served and stored.
+cold_out="$servedir/cold.out"
+"$synth" client --server "$sock" -n 3 > "$cold_out" \
+  || { echo "cold client request failed" >&2; exit 1; }
+grep -q "# synthesized from search" "$cold_out" \
+  || { echo "cold request was not synthesized" >&2; exit 1; }
+# Warm request: must be served from memory with ZERO directory scans and
+# ZERO n! re-certifications — proved by the process-wide monotone
+# counters not moving between the two stats snapshots around it.
+"$synth" client --server "$sock" --op stats > "$servedir/before.json"
+warm_out="$servedir/warm.out"
+"$synth" client --server "$sock" --op lookup -n 3 > "$warm_out" \
+  || { echo "warm lookup failed" >&2; exit 1; }
+grep -q "# cached from memory" "$warm_out" \
+  || { echo "warm lookup was not served from memory" >&2; exit 1; }
+"$synth" client --server "$sock" --op stats > "$servedir/after.json"
+echo "cold: $(grep '^#' "$cold_out")"
+echo "warm: $(grep '^#' "$warm_out")"
+[ "$(counter "$servedir/before.json" readdir_calls)" = \
+  "$(counter "$servedir/after.json" readdir_calls)" ] \
+  || { echo "warm lookup performed a directory scan" >&2; exit 1; }
+[ "$(counter "$servedir/before.json" certifications)" = \
+  "$(counter "$servedir/after.json" certifications)" ] \
+  || { echo "warm lookup re-certified the kernel" >&2; exit 1; }
+hits_before="$(counter "$servedir/before.json" cache_hits)"
+hits_after="$(counter "$servedir/after.json" cache_hits)"
+[ "$hits_after" -gt "$hits_before" ] \
+  || { echo "warm lookup did not count as a cache hit" >&2; exit 1; }
+# Concurrent clients on one warm key: every one is a memory hit.
+conc_pids=""
+for i in 1 2 3 4; do
+  "$synth" client --server "$sock" --op lookup -n 3 \
+    > "$servedir/conc$i.out" &
+  conc_pids="$conc_pids $!"
+done
+for p in $conc_pids; do
+  wait "$p" || { echo "concurrent lookup client $p failed" >&2; exit 1; }
+done
+for i in 1 2 3 4; do
+  grep -q "# cached from memory" "$servedir/conc$i.out" \
+    || { echo "concurrent lookup $i missed the memory cache" >&2; exit 1; }
+done
+"$synth" client --server "$sock" --op stats > "$servedir/conc.json"
+[ "$(counter "$servedir/conc.json" cache_hits)" -ge 5 ] \
+  || { echo "concurrent lookups did not all hit the cache" >&2; exit 1; }
+# batch --server prints byte-identical kernels to a local batch.
+jobs="$servedir/jobs.json"
+printf '[{"n":2},{"n":3},{"n":3,"engine":"level"}]\n' > "$jobs"
+"$synth" batch "$jobs" --cache-dir "$servedir/local-reg" \
+  | grep -v '^#' > "$servedir/local.kernels"
+"$synth" batch "$jobs" --server "$sock" \
+  | grep -v '^#' > "$servedir/remote.kernels"
+cmp -s "$servedir/local.kernels" "$servedir/remote.kernels" \
+  || { echo "batch --server kernels differ from the local batch" >&2; exit 1; }
+# Clean shutdown on request; the daemon writes its final stats snapshot.
+"$synth" client --server "$sock" --op shutdown > /dev/null \
+  || { echo "shutdown request failed" >&2; exit 1; }
+wait "$serve_pid" \
+  || { echo "daemon exited non-zero after shutdown" >&2; exit 1; }
+grep -q "# serve: listening on" "$servedir/serve.log" \
+  || { echo "daemon never printed its ready line" >&2; exit 1; }
+[ -s "$statsf" ] && grep -q '"cache_hits"' "$statsf" \
+  || { echo "daemon did not write its final stats snapshot" >&2; exit 1; }
+# Unreachable server: typed exit code 5.
+set +e
+"$synth" client --server "$sock" --op stats > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 5 ] || { echo "unreachable server exited $code, want 5" >&2; exit 1; }
+# registry migrate round trip: flatten the sharded store back to the v1
+# layout by hand, migrate it, and demand an identical inventory.
+"$synth" registry list --cache-dir "$reg" > "$servedir/sharded.list"
+for d in "$reg"/store/??; do
+  [ -d "$d" ] || continue
+  mv "$d"/* "$reg/store/" 2> /dev/null || true
+  rmdir "$d"
+done
+"$synth" registry list --count --cache-dir "$reg" | grep -q "0 sharded" \
+  || { echo "flattening the store for the migrate test failed" >&2; exit 1; }
+"$synth" registry migrate --cache-dir "$reg" > /dev/null
+"$synth" registry list --count --cache-dir "$reg" | grep -q "0 flat" \
+  || { echo "migrate left flat entries behind" >&2; exit 1; }
+"$synth" registry list --cache-dir "$reg" > "$servedir/migrated.list"
+cmp -s "$servedir/sharded.list" "$servedir/migrated.list" \
+  || { echo "registry listing changed across the migrate round trip" >&2; exit 1; }
+"$synth" registry verify --cache-dir "$reg" > /dev/null \
+  || { echo "registry verify failed after migrate" >&2; exit 1; }
+rm -rf "$servedir"
+
+fi # SMOKE_ONLY=serve guard
 
 if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "bench" ]; then
 

@@ -298,11 +298,19 @@ let test_torn_insert_invisible_after_recovery () =
   | Ok _ -> Alcotest.fail "insert succeeded through an injected crash"
   | Error _ -> ());
   Fault.disarm ();
-  (* The torn staging dir exists but is invisible to lookups. *)
+  (* The torn staging dir exists (inside the entry's shard, where inserts
+     stage since the v2 layout) but is invisible to lookups. *)
   let store = Filename.concat root "store" in
+  let torn_under dir =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (String.starts_with ~prefix:".tmp-")
+    else []
+  in
   let torn =
     Array.to_list (Sys.readdir store)
-    |> List.filter (String.starts_with ~prefix:".tmp-")
+    |> List.concat_map (fun n -> torn_under (Filename.concat store n))
+    |> List.append (torn_under store)
   in
   check Alcotest.int "one torn staging dir" 1 (List.length torn);
   assert (Registry.Store.lookup ~root key3 = Registry.Store.Miss);
@@ -314,7 +322,9 @@ let test_torn_insert_invisible_after_recovery () =
   check Alcotest.int "counter recorded" 1 counters.Registry.Store.recovered;
   assert (
     Array.to_list (Sys.readdir store)
-    |> List.for_all (fun n -> not (String.starts_with ~prefix:".tmp-" n)));
+    |> List.concat_map (fun n -> torn_under (Filename.concat store n))
+    |> List.append (torn_under store)
+    = []);
   (* Idempotent. *)
   let rcv = Registry.Store.recover ~root () in
   check Alcotest.int "second scan clean" 0 rcv.Registry.Store.rolled_back;

@@ -1,0 +1,455 @@
+let check = Alcotest.check
+
+let fresh_root =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.temp_dir "sortsynth-serve" (string_of_int !counter)
+
+let key2 = Registry.Key.make 2
+let key3 = Registry.Key.make 3
+let key4 = Registry.Key.make 4
+
+(* A real certified entry to populate caches with: synthesize once and
+   insert, then read it back. *)
+let make_entry root key =
+  let outcome = Registry.Scheduler.run_key key in
+  match Registry.Store.insert ~root key outcome.Registry.Scheduler.result with
+  | Ok e -> e
+  | Error msg -> Alcotest.fail ("insert: " ^ msg)
+
+let default_config root socket =
+  { Serve.Server.socket_path = socket; root; capacity = 8; workers = 2 }
+
+let synth_req key = Serve.Protocol.Synth (key, Serve.Protocol.default_params)
+
+let served_exn = function
+  | Serve.Protocol.Served s -> s
+  | _ -> Alcotest.fail "expected a served response"
+
+let serve_counter snapshot name =
+  match
+    Option.bind
+      (Registry.Json.member "serve" snapshot)
+      (Registry.Json.member name)
+  with
+  | Some (Registry.Json.Int n) -> n
+  | _ -> Alcotest.fail ("stats: missing serve counter " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* LRU.                                                                *)
+
+let test_lru_basics () =
+  let root = fresh_root () in
+  let e = make_entry root key2 in
+  let l = Serve.Lru.create ~capacity:2 in
+  check Alcotest.(option reject) "empty miss" None
+    (Option.map ignore (Serve.Lru.find l "a"));
+  Serve.Lru.add l "a" e;
+  Serve.Lru.add l "b" e;
+  check Alcotest.(list string) "mru order" [ "b"; "a" ] (Serve.Lru.contents l);
+  (* A hit bumps the entry to most-recent. *)
+  assert (Serve.Lru.find l "a" <> None);
+  check Alcotest.(list string) "bumped" [ "a"; "b" ] (Serve.Lru.contents l);
+  (* Adding past capacity evicts the least-recent ("b"), not "a". *)
+  Serve.Lru.add l "c" e;
+  check Alcotest.(list string) "evicted lru" [ "c"; "a" ] (Serve.Lru.contents l);
+  check Alcotest.bool "b gone" true (Serve.Lru.find l "b" = None);
+  let s = Serve.Lru.stats l in
+  check Alcotest.int "evictions" 1 s.Serve.Lru.evictions;
+  check Alcotest.int "hits" 1 s.Serve.Lru.hits;
+  (* 1 empty probe + 1 post-eviction probe. *)
+  check Alcotest.int "misses" 2 s.Serve.Lru.misses;
+  (* Re-adding an existing key replaces in place, no eviction. *)
+  Serve.Lru.add l "a" e;
+  check Alcotest.int "still 2" 2 (Serve.Lru.length l);
+  check Alcotest.int "no new eviction" 1 (Serve.Lru.stats l).Serve.Lru.evictions
+
+let test_lru_capacity_zero () =
+  let root = fresh_root () in
+  let e = make_entry root key2 in
+  let l = Serve.Lru.create ~capacity:0 in
+  Serve.Lru.add l "a" e;
+  check Alcotest.int "disabled cache stays empty" 0 (Serve.Lru.length l);
+  check Alcotest.bool "no hit" true (Serve.Lru.find l "a" = None)
+
+(* Certified-at-admission, observable end to end: the first lookup loads
+   from disk (one n! certification), the warm repeat must touch neither a
+   directory nor the certifier. *)
+let test_lru_certified_at_admission () =
+  let root = fresh_root () in
+  let _ = make_entry root key2 in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  let cold = served_exn (Serve.Server.handle srv (Serve.Protocol.Lookup key2)) in
+  check Alcotest.string "cold from disk" "disk"
+    (Option.value ~default:"?" cold.Serve.Protocol.source);
+  let readdir0 = Registry.Store.readdir_calls () in
+  let certs0 = Registry.Verify.certifications () in
+  let warm = served_exn (Serve.Server.handle srv (Serve.Protocol.Lookup key2)) in
+  check Alcotest.string "warm from memory" "memory"
+    (Option.value ~default:"?" warm.Serve.Protocol.source);
+  check Alcotest.int "zero directory scans on a warm hit" 0
+    (Registry.Store.readdir_calls () - readdir0);
+  check Alcotest.int "zero re-certifications on a warm hit" 0
+    (Registry.Verify.certifications () - certs0);
+  check
+    Alcotest.(option string)
+    "same kernel text" cold.Serve.Protocol.kernel warm.Serve.Protocol.kernel
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips.                                               *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Serve.Protocol.Lookup key3;
+      Serve.Protocol.Synth
+        ( key4,
+          {
+            Serve.Protocol.timeout = Some 1.5;
+            budget = Some 10_000;
+            retries = 2;
+            backoff = 0.1;
+            optimize = true;
+          } );
+      Serve.Protocol.Batch ([ key2; key3 ], Serve.Protocol.default_params);
+      Serve.Protocol.Stats;
+      Serve.Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Serve.Protocol.request_line req in
+      match Serve.Protocol.parse_request (String.trim line) with
+      | Error msg -> Alcotest.fail msg
+      | Ok req' ->
+          check Alcotest.string "request roundtrip"
+            (Registry.Json.to_string (Serve.Protocol.request_to_json req))
+            (Registry.Json.to_string (Serve.Protocol.request_to_json req')))
+    reqs;
+  let served =
+    {
+      Serve.Protocol.status = "synthesized";
+      source = Some "search";
+      canonical = Registry.Key.canonical key3;
+      kernel = Some "cmp r1 r2\n";
+      length = Some 1;
+      degraded = false;
+      rung = 0;
+      attempts = 2;
+      elapsed = 0.25;
+      coalesced = true;
+      error = None;
+    }
+  in
+  List.iter
+    (fun resp ->
+      let line = Serve.Protocol.response_line resp in
+      match Serve.Protocol.parse_response (String.trim line) with
+      | Error msg -> Alcotest.fail msg
+      | Ok resp' ->
+          check Alcotest.string "response roundtrip"
+            (Registry.Json.to_string (Serve.Protocol.response_to_json resp))
+            (Registry.Json.to_string (Serve.Protocol.response_to_json resp')))
+    [
+      Serve.Protocol.Served served;
+      Serve.Protocol.Jobs [ served; { served with Serve.Protocol.coalesced = false } ];
+      Serve.Protocol.Goodbye;
+      Serve.Protocol.Refused "bad request: no op";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+
+let test_pool_runs_and_survives_exceptions () =
+  let pool = Serve.Pool.create ~workers:2 in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  (match Serve.Pool.run pool (fun () -> 6 * 7) with
+  | Ok v -> check Alcotest.int "result" 42 v
+  | Error e -> Alcotest.fail (Printexc.to_string e));
+  (match Serve.Pool.run pool (fun () -> failwith "boom") with
+  | Error (Failure msg) -> check Alcotest.string "exn carried" "boom" msg
+  | Error e -> Alcotest.fail ("wrong exn: " ^ Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "exception swallowed");
+  (* The worker that ran the failing job is still alive. *)
+  match Serve.Pool.run pool (fun () -> 1) with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "pool died with the job"
+
+let test_pool_worker_death_isolated () =
+  (match Fault.plan_of_string "seed=7;serve.worker_death=nth:1" with
+  | Ok plan -> Fault.install plan
+  | Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let pool = Serve.Pool.create ~workers:1 in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  (match Serve.Pool.run pool (fun () -> 1) with
+  | Error Serve.Pool.Worker_died -> ()
+  | Ok _ -> Alcotest.fail "death site did not fire"
+  | Error e -> Alcotest.fail (Printexc.to_string e));
+  check Alcotest.int "death counted" 1 (Serve.Pool.worker_deaths pool);
+  (* nth:1 fired once; the single worker keeps serving afterwards. *)
+  match Serve.Pool.run pool (fun () -> 2) with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "pool did not survive the worker death"
+
+(* ------------------------------------------------------------------ *)
+(* Server: serving layers and coalescing.                              *)
+
+let test_serve_layers () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  (* Lookup on an empty registry: a miss, and never a search. *)
+  let m = served_exn (Serve.Server.handle srv (Serve.Protocol.Lookup key2)) in
+  check Alcotest.string "lookup misses" "miss" m.Serve.Protocol.status;
+  (* Synth populates store + LRU... *)
+  let s1 = served_exn (Serve.Server.handle srv (synth_req key2)) in
+  check Alcotest.string "synthesized" "synthesized" s1.Serve.Protocol.status;
+  (* ...so the repeat is a memory hit with the same kernel text. *)
+  let s2 = served_exn (Serve.Server.handle srv (synth_req key2)) in
+  check Alcotest.string "repeat cached" "cached" s2.Serve.Protocol.status;
+  check Alcotest.string "from memory" "memory"
+    (Option.value ~default:"?" s2.Serve.Protocol.source);
+  check Alcotest.(option string) "same kernel" s1.Serve.Protocol.kernel
+    s2.Serve.Protocol.kernel;
+  let snap = Serve.Server.snapshot srv in
+  check Alcotest.int "one search" 1 (serve_counter snap "searches");
+  check Alcotest.int "recover ran at open" 1 (serve_counter snap "recover_runs");
+  (* A second server on the same root serves the entry from disk without
+     searching: the store half of the stack. *)
+  let srv2 = Serve.Server.create (default_config root "unused2.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv2) @@ fun () ->
+  let d = served_exn (Serve.Server.handle srv2 (synth_req key2)) in
+  check Alcotest.string "disk hit" "disk"
+    (Option.value ~default:"?" d.Serve.Protocol.source);
+  check Alcotest.int "no search on srv2" 0
+    (serve_counter (Serve.Server.snapshot srv2) "searches")
+
+(* N concurrent identical requests: exactly one search runs, everyone
+   gets the same kernel. The non-leaders either coalesced onto the
+   leader's flight or (in a rare interleaving) hit the cache the leader
+   had just filled — both count as "no second search". *)
+let test_serve_coalescing () =
+  let rec attempt tries =
+    let root = fresh_root () in
+    let srv = Serve.Server.create (default_config root "unused.sock") in
+    let n = 6 in
+    let barrier = Atomic.make 0 in
+    let results = Array.make n None in
+    let threads =
+      List.init n (fun i ->
+          Thread.create
+            (fun () ->
+              Atomic.incr barrier;
+              while Atomic.get barrier < n do
+                Thread.yield ()
+              done;
+              results.(i) <-
+                Some (served_exn (Serve.Server.handle srv (synth_req key4))))
+            ())
+    in
+    List.iter Thread.join threads;
+    let snap = Serve.Server.snapshot srv in
+    let searches = serve_counter snap "searches" in
+    let coalesced = serve_counter snap "coalesced" in
+    Serve.Server.destroy srv;
+    let served =
+      Array.to_list results
+      |> List.map (function Some s -> s | None -> Alcotest.fail "no result")
+    in
+    let kernels =
+      List.sort_uniq compare
+        (List.map (fun s -> s.Serve.Protocol.kernel) served)
+    in
+    check Alcotest.int "exactly one search for n concurrent requests" 1 searches;
+    check Alcotest.int "one distinct kernel" 1 (List.length kernels);
+    check Alcotest.bool "kernel present" true (List.hd kernels <> None);
+    let flagged =
+      List.length (List.filter (fun s -> s.Serve.Protocol.coalesced) served)
+    in
+    check Alcotest.int "coalesced counter matches flagged responses" coalesced
+      flagged;
+    (* The interesting path — joiners parked on the leader's flight — is
+       timing-dependent; retry the whole scenario until it manifests. *)
+    if flagged = 0 && tries > 1 then attempt (tries - 1)
+    else check Alcotest.bool "at least one request coalesced" true (flagged > 0)
+  in
+  attempt 3
+
+(* Quarantine on the serving path: corrupt the stored kernel, then ask
+   again — the server must quarantine, re-run recovery, and re-synthesize
+   rather than serve bad bytes. *)
+let test_serve_quarantine_resynthesizes () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create { (default_config root "unused.sock") with capacity = 0 } in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  let s1 = served_exn (Serve.Server.handle srv (synth_req key2)) in
+  check Alcotest.string "synthesized" "synthesized" s1.Serve.Protocol.status;
+  let dir = Registry.Store.entry_dir ~root key2 in
+  let oc = open_out (Filename.concat dir "kernel.txt") in
+  output_string oc "mov r1 r2\n";
+  close_out oc;
+  let s2 = served_exn (Serve.Server.handle srv (synth_req key2)) in
+  check Alcotest.string "re-synthesized after quarantine" "synthesized"
+    s2.Serve.Protocol.status;
+  check Alcotest.(option string) "same kernel as before corruption"
+    s1.Serve.Protocol.kernel s2.Serve.Protocol.kernel;
+  let snap = Serve.Server.snapshot srv in
+  check Alcotest.bool "recover re-ran after the quarantine" true
+    (serve_counter snap "recover_runs" >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Socket layer: torn connection chaos.                                *)
+
+let with_running_server config f =
+  let srv = Serve.Server.create config in
+  let ready_m = Mutex.create () in
+  let ready_c = Condition.create () in
+  let ready = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Serve.Server.run
+          ~on_ready:(fun () ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          srv)
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Belt and braces: make sure the daemon dies even on test failure. *)
+      (if not (Serve.Server.stopped srv) then
+         ignore
+           (Serve.Client.roundtrip ~socket:config.Serve.Server.socket_path
+              Serve.Protocol.Shutdown));
+      Thread.join th)
+    (fun () -> f srv)
+
+let test_torn_connection_chaos () =
+  let root = fresh_root () in
+  let socket = Filename.concat (fresh_root ()) "synthd.sock" in
+  let config = { Serve.Server.socket_path = socket; root; capacity = 8; workers = 1 } in
+  (* First response is torn mid-line; everything after flows normally. *)
+  (match Fault.plan_of_string "seed=11;serve.torn_connection=nth:1" with
+  | Ok plan -> Fault.install plan
+  | Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  with_running_server config @@ fun srv ->
+  (* The torn request: a synthesis whose response never fully arrives. *)
+  (match
+     Serve.Client.roundtrip ~socket (synth_req key2)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "torn connection site did not fire");
+  (* The server state the interrupted client never saw must be whole:
+     the store certified, the cache serving the very kernel whose
+     response was cut off. *)
+  (match Serve.Client.roundtrip ~socket (Serve.Protocol.Lookup key2) with
+  | Ok (Serve.Protocol.Served s) ->
+      check Alcotest.string "served after tear" "cached" s.Serve.Protocol.status;
+      check Alcotest.string "from the memory cache" "memory"
+        (Option.value ~default:"?" s.Serve.Protocol.source);
+      check Alcotest.bool "kernel intact" true (s.Serve.Protocol.kernel <> None)
+  | Ok _ -> Alcotest.fail "unexpected response shape"
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun (h, r) ->
+      match r with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "%s corrupt after tear: %s" h msg))
+    (Registry.Store.verify_all ~root ());
+  let snap = Serve.Server.snapshot srv in
+  check Alcotest.int "tear was counted" 1 (serve_counter snap "torn_connections");
+  match Serve.Client.roundtrip ~socket Serve.Protocol.Shutdown with
+  | Ok Serve.Protocol.Goodbye -> ()
+  | Ok _ -> Alcotest.fail "unexpected shutdown response"
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Sharded store migration round-trip.                                 *)
+
+let test_migrate_roundtrip () =
+  let root = fresh_root () in
+  List.iter
+    (fun k -> ignore (make_entry root k))
+    [ key2; key3; Registry.Key.make ~engine:Registry.Key.Level 3 ];
+  let before = Registry.Store.scan ~root in
+  check Alcotest.int "inserts land sharded" 0 (List.length before.Registry.Store.flat);
+  (* Fabricate a flat v1 store by undoing the shard renames. *)
+  let store = Filename.concat root "store" in
+  List.iter
+    (fun h ->
+      let shard = Filename.concat store (String.sub h 0 2) in
+      Sys.rename (Filename.concat shard h) (Filename.concat store h);
+      if Sys.readdir shard = [||] then Sys.rmdir shard)
+    before.Registry.Store.hashes;
+  let flat = Registry.Store.scan ~root in
+  check Alcotest.int "all flat now" 3 (List.length flat.Registry.Store.flat);
+  check
+    Alcotest.(list string)
+    "same entries" before.Registry.Store.hashes flat.Registry.Store.hashes;
+  (* Flat v1 stays fully servable (read-compat)... *)
+  (match Registry.Store.lookup ~root key2 with
+  | Registry.Store.Hit _ -> ()
+  | _ -> Alcotest.fail "flat entry not served");
+  (* ...and migrate brings every entry home, idempotently. *)
+  let m = Registry.Store.migrate ~root () in
+  check Alcotest.int "moved" 3 m.Registry.Store.moved;
+  check Alcotest.int "no conflicts" 0 m.Registry.Store.conflicts;
+  let after = Registry.Store.scan ~root in
+  check Alcotest.int "nothing flat" 0 (List.length after.Registry.Store.flat);
+  check
+    Alcotest.(list string)
+    "identical inventory" before.Registry.Store.hashes after.Registry.Store.hashes;
+  let m2 = Registry.Store.migrate ~root () in
+  check Alcotest.int "idempotent" 0 m2.Registry.Store.moved;
+  List.iter
+    (fun (h, r) ->
+      match r with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "%s after migrate: %s" h msg))
+    (Registry.Store.verify_all ~root ())
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "capacity zero" `Quick test_lru_capacity_zero;
+          Alcotest.test_case "certified at admission" `Quick
+            test_lru_certified_at_admission;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs and survives exceptions" `Quick
+            test_pool_runs_and_survives_exceptions;
+          Alcotest.test_case "worker death isolated" `Quick
+            test_pool_worker_death_isolated;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serving layers" `Quick test_serve_layers;
+          Alcotest.test_case "coalescing" `Slow test_serve_coalescing;
+          Alcotest.test_case "quarantine resynthesizes" `Quick
+            test_serve_quarantine_resynthesizes;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "torn connection" `Slow test_torn_connection_chaos;
+        ] );
+      ( "migrate",
+        [ Alcotest.test_case "roundtrip" `Quick test_migrate_roundtrip ] );
+    ]
