@@ -262,6 +262,23 @@ let bench_search_specs =
     ( "n4-best-astar",
       4,
       fun () -> Search.run ~opts:Search.best (Isa.Config.default 4) );
+    ( "n4-symcert-final",
+      4,
+      fun () ->
+        (* Same search as n4-best-astar plus the symbolic sortedness
+           certifier as the final-state acceptance check: the row prices
+           the per-solution certification overhead against its twin. The
+           check accepts unless the certifier refutes (Unknown defers to
+           the packed probe, which is exact), so the artifact is
+           unchanged. *)
+        let cfg = Isa.Config.default 4 in
+        let check p =
+          match Analysis.Symcert.certify cfg p with
+          | Analysis.Symcert.Refuted _ -> false
+          | Analysis.Symcert.Proved | Analysis.Symcert.Unknown _ -> true
+        in
+        let opts = { Search.best with Search.final_check = Some check } in
+        Search.run ~opts cfg );
     ( "n5-bounded-level",
       5,
       fun () ->

@@ -101,7 +101,7 @@ let resolve_root = function
 (* Verification must survive release builds (asserts do not): print a
    diagnostic and exit nonzero instead. *)
 let certify_or_die cfg p =
-  match Registry.Verify.certify cfg p with
+  match Registry.Verify.certify_fast cfg p with
   | Ok () -> ()
   | Error msg ->
       Printf.eprintf "synth: VERIFICATION FAILED: %s\n" msg;
@@ -215,6 +215,14 @@ let run n minmax engine jobs all cut heuristic max_len x86 prove_none pddl
           | Some j -> [ ("degraded", j) ]
           | None -> [])
         @ (match !opt_note with Some j -> [ ("opt", j) ] | None -> [])
+        @ [
+            ( "symcert",
+              Printf.sprintf
+                {|{"symbolic_proofs":%d,"exact_fallbacks":%d,"exact_certifications":%d}|}
+                (Registry.Verify.symbolic_proofs ())
+                (Registry.Verify.exact_fallbacks ())
+                (Registry.Verify.certifications ()) );
+          ]
       with
       | [] -> None
       | l -> Some l
@@ -806,7 +814,44 @@ let print_findings file lines findings =
         f.Analysis.Lint.message)
     findings
 
-let run_lint files n m json =
+(* [lint --rules]: the stable rule-id table, one row per rule in
+   declaration order. The ids, severities, and descriptions are pinned to
+   the README rule table by a test. *)
+let print_rules json =
+  if json then begin
+    let parts =
+      List.map
+        (fun r ->
+          Registry.Json.to_string
+            (Registry.Json.Obj
+               [
+                 ("id", Registry.Json.Str (Analysis.Lint.rule_id r));
+                 ( "severity",
+                   Registry.Json.Str
+                     (Analysis.Lint.severity_to_string
+                        (Analysis.Lint.severity_of_rule r)) );
+                 ("description", Registry.Json.Str (Analysis.Lint.describe r));
+               ]))
+        Analysis.Lint.rules
+    in
+    print_endline ("[" ^ String.concat "," parts ^ "]")
+  end
+  else
+    List.iter
+      (fun r ->
+        Printf.printf "%-20s %-8s %s\n" (Analysis.Lint.rule_id r)
+          (Analysis.Lint.severity_to_string (Analysis.Lint.severity_of_rule r))
+          (Analysis.Lint.describe r))
+      Analysis.Lint.rules
+
+let run_lint files n m json rules =
+  if rules then begin
+    print_rules json;
+    `Ok ()
+  end
+  else if files = [] then
+    `Error (true, "no kernel files given (or pass --rules for the rule table)")
+  else begin
   let reports =
     List.map
       (fun file ->
@@ -868,6 +913,7 @@ let run_lint files n m json =
   end;
   if !errors > 0 then exit 1;
   `Ok ()
+  end
 
 let run_analyze file n m json =
   match Result.bind (read_file_res file) (fun src -> parse_kernel ~n ~m src) with
@@ -974,7 +1020,7 @@ let run_analyze file n m json =
 
 let files_arg =
   Arg.(
-    non_empty
+    value
     & pos_all file []
     & info [] ~docv:"KERNEL.txt"
         ~doc:"Kernel files in Isa.Program.to_string form ('mov s1 r1' …).")
@@ -1007,6 +1053,14 @@ let json_flag =
     value & flag
     & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
 
+let rules_flag =
+  Arg.(
+    value & flag
+    & info [ "rules" ]
+        ~doc:
+          "Print the stable rule-id table (id, severity, one-line \
+           description) and exit; no kernel files are read.")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
@@ -1015,8 +1069,10 @@ let lint_cmd =
           writes, unconsumed cmps, orphan cmovs, uninitialized scratch \
           reads, trailing code) plus the permutation-set abstract \
           interpreter (semantic no-ops, sortedness certification). Exits 1 \
-          on any ERROR finding.")
-    Term.(ret (const run_lint $ files_arg $ opt_n $ opt_m $ json_flag))
+          on any ERROR finding. With $(b,--rules), prints the stable \
+          rule-id table (id, severity, description) instead.")
+    Term.(
+      ret (const run_lint $ files_arg $ opt_n $ opt_m $ json_flag $ rules_flag))
 
 let analyze_cmd =
   Cmd.v
@@ -1028,6 +1084,123 @@ let analyze_cmd =
           proof-carrying DCE result (with the shrunk kernel when anything \
           was removable).")
     Term.(ret (const run_analyze $ file_arg $ opt_n $ opt_m $ json_flag))
+
+(* ------------------------------------------------------------------ *)
+(* certify: the symbolic sortedness certifier, exact fallback on
+   Unknown — the CLI face of [Registry.Verify.certify_fast].           *)
+
+let run_certify files n m json max_worlds =
+  if files = [] then `Error (true, "no kernel files given")
+  else begin
+    let failures = ref 0 in
+    let reports =
+      List.map
+        (fun file ->
+          match
+            Result.bind (read_file_res file) (fun src ->
+                parse_kernel ~n ~m src)
+          with
+          | Error msg ->
+              incr failures;
+              (file, Error msg)
+          | Ok (cfg, prog, _lines) ->
+              let verdict =
+                Analysis.Symcert.certify ?max_worlds cfg prog
+              in
+              (* Soundness contract: Unknown MUST fall back to the exact
+                 n! check; Proved/Refuted are final (Refuted is already
+                 execution-confirmed). *)
+              let certified, method_, detail =
+                match verdict with
+                | Analysis.Symcert.Proved ->
+                    (true, "symbolic", Analysis.Symcert.explain verdict)
+                | Analysis.Symcert.Refuted _ ->
+                    (false, "symbolic", Analysis.Symcert.explain verdict)
+                | Analysis.Symcert.Unknown reason -> (
+                    match Registry.Verify.certify cfg prog with
+                    | Ok () ->
+                        ( true,
+                          "exact",
+                          Printf.sprintf
+                            "unknown symbolically (%s); proved by the \
+                             exhaustive n! check"
+                            reason )
+                    | Error msg -> (false, "exact", msg))
+              in
+              if not certified then incr failures;
+              ( file,
+                Ok
+                  ( cfg,
+                    Analysis.Symcert.verdict_name verdict,
+                    certified,
+                    method_,
+                    detail ) ))
+        files
+    in
+    if json then begin
+      let parts =
+        List.map
+          (fun (file, r) ->
+            let fields =
+              match r with
+              | Error msg ->
+                  [ ("file", Registry.Json.Str file);
+                    ("error", Registry.Json.Str msg) ]
+              | Ok (cfg, verdict, certified, method_, detail) ->
+                  [
+                    ("file", Registry.Json.Str file);
+                    ("n", Registry.Json.Int cfg.Isa.Config.n);
+                    ("m", Registry.Json.Int cfg.Isa.Config.m);
+                    ("verdict", Registry.Json.Str verdict);
+                    ("certified", Registry.Json.Bool certified);
+                    ("method", Registry.Json.Str method_);
+                    ("detail", Registry.Json.Str detail);
+                  ]
+            in
+            Registry.Json.to_string (Registry.Json.Obj fields))
+          reports
+      in
+      print_endline ("[" ^ String.concat "," parts ^ "]")
+    end
+    else
+      List.iter
+        (fun (file, r) ->
+          match r with
+          | Error msg -> Printf.printf "%s: parse error: %s\n" file msg
+          | Ok (_, verdict, certified, method_, detail) ->
+              Printf.printf "%s: %s%s (%s): %s\n" file
+                (if certified then "certified" else "NOT CERTIFIED")
+                (Printf.sprintf " [%s]" verdict)
+                method_ detail)
+        reports;
+    if !failures > 0 then exit 1;
+    `Ok ()
+  end
+
+let certify_cmd =
+  let max_worlds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-worlds" ] ~docv:"K"
+          ~doc:
+            "World budget for the symbolic certifier (default 20000). \
+             Exceeding it yields an $(i,unknown) verdict and the exact \
+             fallback, never an unsound answer.")
+  in
+  Cmd.v
+    (Cmd.info "certify" ~exits
+       ~doc:
+         "Certify kernel files as sorting kernels: the symbolic \
+          order-poset certifier first (polynomial, no n! enumeration), \
+          the paper's exhaustive permutation check only on an \
+          $(i,unknown) verdict. A $(i,refuted) verdict always carries an \
+          execution-confirmed counterexample. Exits 1 when any file \
+          fails to certify (or to parse).")
+    Term.(
+      ret
+        (const run_certify $ files_arg $ opt_n $ opt_m $ json_flag
+       $ max_worlds))
 
 (* ------------------------------------------------------------------ *)
 (* optimize / equiv: the proof-carrying optimizer and the translation- *)
@@ -1669,6 +1842,7 @@ let cmd =
       client_cmd;
       lint_cmd;
       analyze_cmd;
+      certify_cmd;
       optimize_cmd;
       equiv_cmd;
     ]

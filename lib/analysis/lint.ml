@@ -35,6 +35,47 @@ let severity_of_rule = function
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
+let rules =
+  [
+    Dead_write;
+    Dead_cmp;
+    Redundant_cmp;
+    Orphan_cmov;
+    Uninit_scratch_read;
+    Trailing_code;
+    Semantic_noop;
+    Not_sorting;
+  ]
+
+(* One-line descriptions, kept byte-identical to the README rule table
+   (a test pins the sync). *)
+let describe = function
+  | Dead_write ->
+      "a (conditional) move whose destination is never read before being \
+       overwritten or ignored at exit"
+  | Dead_cmp ->
+      "a `cmp` whose flags are never consumed before the next `cmp` \
+       clobbers them"
+  | Redundant_cmp ->
+      "a `cmp` repeating the in-effect cmp's exact operand pair with no \
+       intervening flag reader or operand write — the flags are already \
+       set (anchors to the second, removable cmp)"
+  | Orphan_cmov ->
+      "a conditional move with no reaching `cmp`: the flags still hold \
+       their cleared initial state, so it can never fire"
+  | Uninit_scratch_read ->
+      "a read of a scratch register no earlier instruction wrote (the \
+       value is the constant 0)"
+  | Trailing_code ->
+      "a maximal trailing run of instructions that cannot affect the \
+       value registers"
+  | Semantic_noop ->
+      "the abstract interpreter proved the instruction changes no \
+       reachable assignment"
+  | Not_sorting ->
+      "the abstract certifier rejected the program: some reachable final \
+       assignment is unsorted"
+
 let finding rule index message =
   { rule; severity = severity_of_rule rule; index; message }
 

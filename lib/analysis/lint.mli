@@ -47,7 +47,19 @@ type finding = {
 val rule_id : rule -> string
 (** Stable kebab-case identifier, e.g. ["dead-write"]. *)
 
+val severity_of_rule : rule -> severity
+(** The fixed severity each rule reports at ({!Uninit_scratch_read} is the
+    only [Warning]). *)
+
 val severity_to_string : severity -> string
+
+val rules : rule list
+(** Every rule, in declaration order — the row order of
+    [synth lint --rules] and the README rule table. *)
+
+val describe : rule -> string
+(** One-line description of what the rule fires on, byte-identical to the
+    README rule table (pinned by a test). *)
 
 val check : Isa.Config.t -> Isa.Program.t -> finding list
 (** Dataflow-only lints ({!Dead_write}, {!Dead_cmp}, {!Redundant_cmp},

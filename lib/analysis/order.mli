@@ -1,0 +1,61 @@
+(** Strict-order posets over a small universe of symbolic value ids.
+
+    The universe is [0 .. k-1]. Id [0] is reserved for the constant zero
+    (the initial content of every scratch register); ids [1 .. k-1] stand
+    for the kernel's input values [x_0 .. x_{k-2}]. Because kernel inputs
+    are permutations of [1 .. n], two distinct ids always denote distinct
+    concrete values, so every provable relation is strict — the domain
+    tracks only [<] facts and keeps them transitively closed at all times.
+
+    [create] seeds the base facts [0 < i] for every [i > 0]: the constant
+    zero sits below every input value. All other facts arrive via
+    {!add_lt} as the symbolic executor ({!Symcert}) case-splits on [cmp]
+    outcomes. *)
+
+type t
+
+val create : int -> t
+(** [create k] is the poset over ids [0 .. k-1] holding exactly the base
+    facts [0 < i] for every [i > 0]. Raises [Invalid_argument] unless
+    [1 <= k <= 62] (ids are bitmask positions in an OCaml int). *)
+
+val copy : t -> t
+(** An independent copy — {!add_lt} on one side never affects the other.
+    Case splits duplicate the poset through this. *)
+
+val size : t -> int
+(** The universe size [k]. *)
+
+val lt : t -> int -> int -> bool
+(** [lt t a b] iff [a < b] is proven (base fact, added fact, or a
+    transitive consequence). [lt t a a] is always [false]. *)
+
+val decided : t -> int -> int -> [ `Lt | `Gt | `Unknown ]
+(** How [a] compares to [b] under the proven facts. [`Unknown] means
+    neither direction is proven — the caller must case-split. The caller
+    handles [a = b] itself (two equal ids are the same value). *)
+
+val add_lt : t -> int -> int -> bool
+(** [add_lt t a b] adds the fact [a < b] and restores transitive closure,
+    in place. Returns [false] — leaving [t] untouched — when the fact
+    contradicts a proven [b < a] or when [a = b]; the symbolic executor
+    only splits on undecided pairs, so a [false] return signals a caller
+    bug rather than a reachable state. *)
+
+val rename : t -> int array -> t
+(** [rename t rho] is the fresh poset holding [rho.(a) < rho.(b)] for
+    every proven [a < b]. [rho] must be a permutation of [0 .. k-1]
+    fixing [0] (the constant zero is not renamable). Used by the
+    canonical-world deduplication in {!Symcert}. *)
+
+val extension : ?desc:bool -> t -> int array
+(** A linear extension: all [k] ids ordered so every proven [a < b] puts
+    [a] before [b]. Deterministic — ties (incomparable ids) break toward
+    the smallest id, or the largest with [~desc:true], giving two distinct
+    witnesses when the poset is not total. Id [0] is always first. *)
+
+val key : t -> string
+(** A canonical byte string of the relation, equal iff the posets hold
+    exactly the same facts over the same universe. For hashing worlds. *)
+
+val equal : t -> t -> bool

@@ -59,7 +59,8 @@ let parse_reg cfg s =
 
 let of_string cfg s =
   let tokens =
-    String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+    String.split_on_char ' '
+      (String.map (function ',' | '\t' -> ' ' | c -> c) s)
     |> List.filter (fun t -> t <> "")
   in
   match tokens with

@@ -9,6 +9,24 @@ let to_string cfg p =
 let to_x86 cfg p =
   Array.to_list p |> List.map (Instr.to_x86 cfg) |> String.concat "\n"
 
+(* Normalize line endings before splitting: CRLF becomes LF and a lone CR
+   (classic-Mac or mixed files) becomes LF too, so every ending counts as
+   exactly one line break and reported line numbers stay 1-based and
+   correct. Trailing blank lines then fall out as ordinary empty lines. *)
+let normalize_newlines s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\r' ->
+        Buffer.add_char b '\n';
+        if !i + 1 < n && s.[!i + 1] = '\n' then incr i
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
 let of_string_numbered cfg s =
   let rec go acc lineno = function
     | [] -> Ok (Array.of_list (List.rev acc))
@@ -20,7 +38,7 @@ let of_string_numbered cfg s =
           | Ok i -> go ((i, lineno) :: acc) (lineno + 1) rest
           | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] 1 (String.split_on_char '\n' s)
+  go [] 1 (String.split_on_char '\n' (normalize_newlines s))
 
 let of_string cfg s =
   Result.map (Array.map fst) (of_string_numbered cfg s)

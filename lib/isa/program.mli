@@ -12,9 +12,11 @@ val to_x86 : Config.t -> t -> string
 (** One instruction per line, x86-64 Intel syntax. *)
 
 val of_string : Config.t -> string -> (t, string) result
-(** Parse the {!to_string} form. Blank lines and [#]-comments are ignored.
-    Errors are prefixed with the offending 1-based line number
-    (["line 3: unknown opcode in …"]). *)
+(** Parse the {!to_string} form. Blank lines and [#]-comments are ignored;
+    CRLF and lone-CR line endings, tabs between fields, and trailing blank
+    lines are normalized away. Errors are prefixed with the offending
+    1-based line number (["line 3: unknown opcode in …"]), counted after
+    newline normalization so every source line ending is one line. *)
 
 val of_string_numbered : Config.t -> string -> ((Instr.t * int) array, string) result
 (** Like {!of_string}, but pairs every instruction with the 1-based source

@@ -6,10 +6,13 @@
     bit-identical on the observable value registers for {e every} one of
     the [n!] input permutations, checked by direct execution of both
     programs over the packed-code semantics ({!Machine.Assign}). When the
-    input certifies as a sorting kernel under the permutation-set abstract
-    interpreter ({!Analysis.Absint.certify}), the output must re-certify
-    too — an independent second proof, mirroring {!Analysis.Dce}'s
-    contract. A pass that fails either check is {e refused}: the optimizer
+    input certifies as a sorting kernel, the output must re-certify too —
+    an independent second proof, mirroring {!Analysis.Dce}'s contract.
+    That second proof routes through the symbolic order-poset certifier
+    ({!Analysis.Symcert.certify_fast}), which falls back to the exact
+    permutation-set abstract interpreter ({!Analysis.Absint.certify}) on
+    an [Unknown] verdict, so it is as strong as before and usually far
+    cheaper. A pass that fails either check is {e refused}: the optimizer
     can decline to optimize but can never miscompile.
 
     Note that the sound-for-networks 0-1 shortcut ({!Machine.Zeroone}) is
@@ -27,6 +30,6 @@ type t = {
 
 val discharge : Isa.Config.t -> t -> (unit, string) result
 (** [Ok ()] iff [after] produces the same value-register contents as
-    [before] on every input permutation {e and} re-certifies under
-    {!Analysis.Absint.certify} whenever [before] certified. The error
+    [before] on every input permutation {e and} re-certifies (symbolic
+    certifier with exact fallback) whenever [before] certified. The error
     message names the pass and a concrete counterexample permutation. *)

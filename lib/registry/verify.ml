@@ -17,3 +17,7 @@ let certify cfg p =
         (Printf.sprintf
            "kernel of length %d fails on input [%s]: produced [%s]"
            (Isa.Program.length p) (ints input) (ints output))
+
+let certify_fast cfg p = Analysis.Symcert.certify_fast ~fallback:certify cfg p
+let symbolic_proofs = Analysis.Symcert.symbolic_proofs
+let exact_fallbacks = Analysis.Symcert.exact_fallbacks

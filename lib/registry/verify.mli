@@ -14,3 +14,19 @@ val certifications : unit -> int
 (** Full [n!]-permutation certifications run by this process, ever —
     the daemon exports the delta so a warm cache hit can be shown to
     have skipped re-certification. Monotone; compare readings. *)
+
+val certify_fast : Isa.Config.t -> Isa.Program.t -> (unit, string) result
+(** The default trust-boundary check: {!Analysis.Symcert} first, exact
+    {!certify} only when the symbolic verdict is [Unknown]. Same
+    [Ok]/[Error] contract as {!certify} — [Error] always carries a
+    confirmed counterexample — but a symbolically proved kernel skips the
+    [n!] enumeration entirely and bumps {!symbolic_proofs} instead of
+    {!certifications}. *)
+
+val symbolic_proofs : unit -> int
+(** Kernels this process proved symbolically (no [n!] enumeration).
+    Monotone; alias of {!Analysis.Symcert.symbolic_proofs}. *)
+
+val exact_fallbacks : unit -> int
+(** [Unknown] symbolic verdicts that made {!certify_fast} run the exact
+    check. Monotone; alias of {!Analysis.Symcert.exact_fallbacks}. *)

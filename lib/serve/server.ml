@@ -327,6 +327,8 @@ let snapshot t =
           [
             ("readdir_calls", Json.Int (Store.readdir_calls ()));
             ("certifications", Json.Int (Verify.certifications ()));
+            ("symbolic_proofs", Json.Int (Verify.symbolic_proofs ()));
+            ("exact_fallbacks", Json.Int (Verify.exact_fallbacks ()));
           ] );
     ]
 

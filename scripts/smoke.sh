@@ -5,10 +5,10 @@
 #
 # SMOKE_ONLY=chaos runs only the fault-injection / crash-recovery
 # section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section;
-# SMOKE_ONLY=serve runs only the synthesis-daemon section; SMOKE_ONLY=bench
-# runs only the search-throughput regression gate (each used by the
-# matching CI job, which has already built and tested). The default runs
-# everything.
+# SMOKE_ONLY=serve runs only the synthesis-daemon section; SMOKE_ONLY=certify
+# runs only the symbolic-certifier section; SMOKE_ONLY=bench runs only the
+# search-throughput regression gate (each used by the matching CI job,
+# which has already built and tested). The default runs everything.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -305,6 +305,84 @@ cmp -s "$servedir/sharded.list" "$servedir/migrated.list" \
 rm -rf "$servedir"
 
 fi # SMOKE_ONLY=serve guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "certify" ]; then
+
+echo "== symbolic sortedness certifier =="
+dune build bin/synth.exe
+synth="_build/default/bin/synth.exe"
+certdir="${TMPDIR:-/tmp}/sortsynth-certify-smoke"
+rm -rf "$certdir"; mkdir -p "$certdir"
+counter() { grep -o "\"$2\":[0-9]*" "$1" | head -1 | cut -d: -f2; }
+# Every shipped example kernel certifies, and every one of them does so
+# SYMBOLICALLY — the n! fallback never runs on the decidable workload.
+"$synth" certify examples/kernels/*.txt --json > "$certdir/kernels.json" \
+  || { echo "synth certify rejected a shipped example kernel" >&2; exit 1; }
+if grep -q '"certified":false' "$certdir/kernels.json"; then
+  echo "an example kernel failed to certify" >&2; exit 1
+fi
+if grep -q '"method":"exact"' "$certdir/kernels.json"; then
+  echo "an example kernel needed the exact n! fallback" >&2; exit 1
+fi
+if grep -q '"verdict":"unknown"' "$certdir/kernels.json"; then
+  echo "an example kernel came back unknown" >&2; exit 1
+fi
+# The Machine.Zeroone gap kernel — sorts all 2^n binary inputs, fails a
+# permutation — is the standing adversarial regression: the certifier
+# must reject it (refuted with a confirmed counterexample, or at worst
+# unknown + exact fallback), NEVER prove it.
+if "$synth" certify examples/gap/zeroone_gap.txt --json \
+    > "$certdir/gap.json" 2>&1; then
+  echo "synth certify ACCEPTED the Zeroone gap kernel" >&2; exit 1
+fi
+if grep -q '"verdict":"proved"' "$certdir/gap.json"; then
+  echo "symcert PROVED the Zeroone gap kernel (unsound)" >&2; exit 1
+fi
+grep -q '"certified":false' "$certdir/gap.json" \
+  || { echo "gap kernel was not reported uncertified" >&2; exit 1; }
+# The synthesis stats snapshot carries the symcert block, and a fresh
+# synthesis certifies its kernel symbolically (zero exact fallbacks).
+stats="$("$synth" -n 3 --stats-json -)"
+echo "$stats" | grep -q '"symcert":{' \
+  || { echo "--stats-json has no symcert block" >&2; exit 1; }
+echo "$stats" | grep -q '"exact_fallbacks":0' \
+  || { echo "fresh n=3 synthesis fell back to the exact check" >&2; exit 1; }
+# Trust-boundary counters on the daemon: cold admission certifies
+# symbolically (symbolic_proofs > 0, certifications stays 0), and a warm
+# memory hit does ZERO exact certification work — neither the exact
+# counter nor the fallback counter moves across it.
+sock="$certdir/synthd.sock"
+"$synth" serve --socket "$sock" --cache-dir "$certdir/registry" \
+  > "$certdir/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "certify daemon never bound its socket" >&2; exit 1; }
+  sleep 0.1
+done
+"$synth" client --server "$sock" -n 3 > /dev/null \
+  || { echo "cold certify-smoke request failed" >&2; exit 1; }
+"$synth" client --server "$sock" --op stats > "$certdir/before.json"
+[ "$(counter "$certdir/before.json" symbolic_proofs)" -gt 0 ] \
+  || { echo "cold admission did not prove symbolically" >&2; exit 1; }
+[ "$(counter "$certdir/before.json" certifications)" = 0 ] \
+  || { echo "cold admission ran an exact n! certification" >&2; exit 1; }
+"$synth" client --server "$sock" --op lookup -n 3 > "$certdir/warm.out" \
+  || { echo "warm certify-smoke lookup failed" >&2; exit 1; }
+grep -q "# cached from memory" "$certdir/warm.out" \
+  || { echo "warm certify-smoke lookup missed the memory cache" >&2; exit 1; }
+"$synth" client --server "$sock" --op stats > "$certdir/after.json"
+for c in certifications exact_fallbacks symbolic_proofs; do
+  [ "$(counter "$certdir/before.json" $c)" = \
+    "$(counter "$certdir/after.json" $c)" ] \
+    || { echo "warm hit moved the $c counter" >&2; exit 1; }
+done
+"$synth" client --server "$sock" --op shutdown > /dev/null 2>&1 || true
+wait "$serve_pid" 2>/dev/null || true
+rm -rf "$certdir"
+
+fi # SMOKE_ONLY=certify guard
 
 if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "bench" ]; then
 

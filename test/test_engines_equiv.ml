@@ -223,6 +223,48 @@ let test_n4_three_engines_agree () =
      heuristic is inadmissible and overshoots at this size). *)
   astar_finds cfg { opts with Search.heuristic = Search.Dist_bound } 20
 
+(* --- n = 5 under a state budget: the engines agree on a bounded
+   lower-bound sweep, and both honor (and trip) the budget identically. --- *)
+
+let test_n5_engines_agree_under_budget () =
+  let cfg = Isa.Config.default 5 in
+  let mode = Search.Prove_none 3 in
+  let opts =
+    {
+      Search.best with
+      Search.cut = Search.No_cut;
+      action_filter = Search.All_actions;
+      dist_viability = false;
+      state_budget = Some 200_000;
+    }
+  in
+  let seq, par = assert_level_parallel_agree ~mode cfg opts in
+  check opt_len "n=5 sweep proves nothing <= 3" None seq.Search.optimal_length;
+  check opt_len "parallel agrees" None par.Search.optimal_length;
+  if seq.Search.stats.Search.generated = 0 then
+    Alcotest.fail "n=5 sweep generated nothing"
+
+let test_n5_budget_trips_in_every_engine () =
+  let cfg = Isa.Config.default 5 in
+  let tiny = { Search.best with Search.state_budget = Some 500 } in
+  let trips name f =
+    match f () with
+    | exception Search.Resource_exhausted { live; budget = Some b } ->
+        if live <= b then
+          Alcotest.failf "%s: reported live %d within budget %d" name live b
+    | exception Search.Resource_exhausted { budget = None; _ } ->
+        Alcotest.failf "%s: budget lost en route" name
+    | _ -> Alcotest.failf "%s: n=5 search ran to completion under 500 states" name
+  in
+  trips "astar" (fun () ->
+      Search.run ~opts:{ tiny with Search.engine = Search.Astar } cfg);
+  trips "level-sync" (fun () ->
+      Search.run_mode
+        ~opts:{ tiny with Search.engine = Search.Level_sync }
+        ~mode:Search.Find_first cfg);
+  trips "parallel" (fun () ->
+      Search.run_parallel ~opts:tiny ~domains:3 ~mode:Search.Find_first cfg)
+
 let () =
   Alcotest.run "engines-equiv"
     [
@@ -242,5 +284,12 @@ let () =
         [
           Alcotest.test_case "three engines find 20" `Slow
             test_n4_three_engines_agree;
+        ] );
+      ( "n5",
+        [
+          Alcotest.test_case "engines agree under a state budget" `Slow
+            test_n5_engines_agree_under_budget;
+          Alcotest.test_case "budget trips in every engine" `Quick
+            test_n5_budget_trips_in_every_engine;
         ] );
     ]

@@ -95,6 +95,33 @@ let test_program_parse_error_lines () =
         (Array.to_list (Array.map snd numbered))
   | Error e -> Alcotest.fail e
 
+let test_program_parse_line_endings () =
+  (* CRLF files parse like LF files, trailing blank lines are harmless,
+     and error line numbers still match the source. *)
+  (match
+     Isa.Program.of_string cfg3 "# header\r\nmov s1 r1\r\ncmp r1 r2\r\n\r\n\r\n"
+   with
+  | Ok p -> check Alcotest.int "crlf instrs" 2 (Isa.Program.length p)
+  | Error e -> Alcotest.fail e);
+  (match Isa.Program.of_string cfg3 "mov s1 r1\r\nbogus r1 r2\r\n" with
+  | Error e ->
+      check Alcotest.bool "crlf error line 2" true
+        (String.starts_with ~prefix:"line 2:" e)
+  | Ok _ -> Alcotest.fail "accepted unknown opcode");
+  (* Lone-CR (classic-Mac / mixed-ending) files count each CR as one line
+     break. *)
+  (match
+     Isa.Program.of_string_numbered cfg3 "mov s1 r1\rcmp r1 r2\r\ncmovg r1 r2"
+   with
+  | Ok numbered ->
+      check (Alcotest.list Alcotest.int) "cr line numbers" [ 1; 2; 3 ]
+        (Array.to_list (Array.map snd numbered))
+  | Error e -> Alcotest.fail e);
+  (* Tabs between fields are field separators, like spaces. *)
+  match Isa.Program.of_string cfg3 "mov\ts1\tr1\n\tcmp r1 r2\n" with
+  | Ok p -> check Alcotest.int "tab instrs" 2 (Isa.Program.length p)
+  | Error e -> Alcotest.fail e
+
 let test_opcode_signature () =
   let p = [| Isa.Instr.mov 3 0; Isa.Instr.cmp 0 1; Isa.Instr.cmovg 0 1; Isa.Instr.cmovl 1 3 |] in
   check Alcotest.string "signature" "mcgl" (Isa.Program.opcode_signature p)
@@ -190,6 +217,8 @@ let () =
           Alcotest.test_case "roundtrip all configs" `Quick
             test_program_roundtrip_all_configs;
           Alcotest.test_case "comments" `Quick test_program_parse_comments;
+          Alcotest.test_case "crlf, cr, tabs, trailing blanks" `Quick
+            test_program_parse_line_endings;
           Alcotest.test_case "parse error line numbers" `Quick
             test_program_parse_error_lines;
           Alcotest.test_case "opcode signature" `Quick test_opcode_signature;
