@@ -36,7 +36,10 @@
      4  registry corruption: a verify sweep found entries that had to be
         quarantined
      5  synthesis server unreachable, or a protocol error on its socket
-        (client / batch --server modes) *)
+        (client / batch --server modes)
+     6  the server shed the request: overloaded (connection budget or
+        request queue full, or draining) or circuit_open (the key's
+        breaker is tripped); retry after the server's retry_after hint *)
 
 open Cmdliner
 
@@ -44,6 +47,7 @@ let exit_timeout = 2
 let exit_exhausted = 3
 let exit_corrupt = 4
 let exit_unreachable = 5
+let exit_overloaded = 6
 
 let exits =
   Cmd.Exit.info ~doc:"on lint, verification, or synthesis failure." 1
@@ -62,6 +66,13 @@ let exits =
          "when the synthesis server is unreachable or its response was cut \
           off or unparsable (client and batch --server modes)."
        exit_unreachable
+  :: Cmd.Exit.info
+       ~doc:
+         "when the server shed the request — overloaded (connection or \
+          queue budget, or draining) or circuit_open (the key's breaker \
+          is tripped). Back off for the server's retry_after hint and \
+          retry."
+       exit_overloaded
   :: Cmd.Exit.defaults
 
 (* [--fault-plan] accepts the same forms as $SORTSYNTH_FAULT_PLAN: an
@@ -506,8 +517,18 @@ let default_term =
    timing commentary in the '#' lines differs. *)
 let run_batch_remote sock keys timeout retries backoff budget optimize
     stats_json =
+  (* Propagate an absolute deadline covering every attempt the server may
+     make on our behalf, plus a second of queue/transport slack — so a
+     request that would blow past our patience is shed in the server's
+     queue instead of burning a worker. *)
+  let deadline =
+    Option.map
+      (fun t ->
+        Fault.Clock.now () +. (t *. float_of_int (1 + retries)) +. 1.0)
+      timeout
+  in
   let params =
-    { Serve.Protocol.timeout; budget; retries; backoff; optimize }
+    { Serve.Protocol.timeout; budget; retries; backoff; optimize; deadline }
   in
   match Serve.Client.roundtrip ~socket:sock (Serve.Protocol.Batch (keys, params)) with
   | Error msg ->
@@ -515,6 +536,11 @@ let run_batch_remote sock keys timeout retries backoff budget optimize
       exit exit_unreachable
   | Ok (Serve.Protocol.Refused msg) ->
       `Error (false, Printf.sprintf "server refused the batch: %s" msg)
+  | Ok (Serve.Protocol.Overloaded retry_after) ->
+      Printf.eprintf
+        "synth batch: server overloaded (connection budget); retry in %.1f s\n"
+        retry_after;
+      exit exit_overloaded
   | Ok (Serve.Protocol.Served _ | Serve.Protocol.Snapshot _ | Serve.Protocol.Goodbye) ->
       Printf.eprintf "synth batch: protocol error: unexpected response type\n";
       exit exit_unreachable
@@ -525,7 +551,10 @@ let run_batch_remote sock keys timeout retries backoff budget optimize
           (List.length keys) (List.length served);
         exit exit_unreachable
       end;
-      let timeouts = ref 0 and exhausted = ref 0 and other = ref 0 in
+      let timeouts = ref 0
+      and exhausted = ref 0
+      and shed = ref 0
+      and other = ref 0 in
       List.iteri
         (fun i (key, (s : Serve.Protocol.served)) ->
           let tag, note =
@@ -556,6 +585,24 @@ let run_batch_remote sock keys timeout retries backoff budget optimize
             | "crashed" ->
                 incr other;
                 ("CRASHED", ": worker died mid-request; job isolated")
+            | "overloaded" ->
+                incr shed;
+                ( "OVERLOADED",
+                  Printf.sprintf ": %s%s"
+                    (Option.value ~default:"request shed"
+                       s.Serve.Protocol.error)
+                    (match s.Serve.Protocol.retry_after with
+                    | Some r -> Printf.sprintf "; retry in %.1f s" r
+                    | None -> "") )
+            | "circuit_open" ->
+                incr shed;
+                ( "CIRCUIT OPEN",
+                  Printf.sprintf ": %s%s"
+                    (Option.value ~default:"breaker tripped for this key"
+                       s.Serve.Protocol.error)
+                    (match s.Serve.Protocol.retry_after with
+                    | Some r -> Printf.sprintf "; retry in %.1f s" r
+                    | None -> "") )
             | st ->
                 incr other;
                 ( String.uppercase_ascii st,
@@ -576,13 +623,15 @@ let run_batch_remote sock keys timeout retries backoff budget optimize
             (Registry.Json.to_string
                (Serve.Protocol.response_to_json (Serve.Protocol.Jobs served)))
       | None -> ());
-      let failures = !timeouts + !exhausted + !other in
+      let failures = !timeouts + !exhausted + !shed + !other in
       if failures > 0 then begin
         Printf.eprintf "synth batch: %d of %d jobs did not produce a kernel\n"
           failures (List.length keys);
         exit
-          (if !other = 0 && !exhausted = 0 then exit_timeout
-           else if !other = 0 && !timeouts = 0 then exit_exhausted
+          (if !other = 0 && !exhausted = 0 && !shed = 0 then exit_timeout
+           else if !other = 0 && !timeouts = 0 && !shed = 0 then exit_exhausted
+           else if !other = 0 && !timeouts = 0 && !exhausted = 0 then
+             exit_overloaded
            else 1)
       end;
       `Ok ()
@@ -1681,14 +1730,27 @@ let registry_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve / client: the long-lived synthesis daemon and its thin client. *)
 
-let run_serve socket cache_dir capacity workers stats_json fault_plan =
+let run_serve socket cache_dir capacity workers max_conns max_queue
+    breaker_threshold breaker_cooldown drain_grace stats_json fault_plan =
   setup_faults fault_plan;
   let root = resolve_root cache_dir in
-  let cfg = { Serve.Server.socket_path = socket; root; capacity; workers } in
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      root;
+      capacity;
+      workers;
+      max_conns;
+      max_queue;
+      breaker_threshold;
+      breaker_cooldown;
+      drain_grace;
+    }
+  in
   let t = Serve.Server.create cfg in
   Serve.Server.run
     ~on_ready:(fun () -> Printf.printf "# serve: listening on %s\n%!" socket)
-    t;
+    ~handle_signals:true t;
   (match stats_json with
   | Some path ->
       write_json path (Registry.Json.to_string (Serve.Server.snapshot t))
@@ -1718,6 +1780,52 @@ let serve_cmd =
       & info [ "workers"; "j" ] ~docv:"N"
           ~doc:"Persistent search worker domains (default 2).")
   in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection budget. A connection over the budget is \
+             answered with one typed 'overloaded' line (never silently \
+             dropped) and closed; clients see exit code 6.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 32
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Bounded pending-request queue in front of the worker pool. A \
+             request that would wait behind $(docv) queued jobs is shed \
+             with a typed 'overloaded' response and a retry_after hint.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"K"
+          ~doc:
+            "Poison-key circuit breaker: $(docv) consecutive crashed or \
+             budget-exhausted outcomes for the same canonical key trip its \
+             breaker; further requests fast-fail with 'circuit_open' \
+             instead of burning workers.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 5.0
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds a tripped breaker stays open before half-opening to \
+             admit a single probe request (monotonic clock).")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Graceful-drain deadline: on SIGTERM/SIGINT the daemon stops \
+             accepting, sheds queued work, waits up to $(docv) seconds for \
+             in-flight jobs, then persists the LRU warm set for the next \
+             start.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:
@@ -1727,13 +1835,18 @@ let serve_cmd =
           certified entries, the sharded on-disk registry (crash recovery \
           at open and after any quarantine), and a persistent worker pool \
           running the scheduler's degradation ladder. Identical concurrent \
-          requests coalesce onto one search. Runs until a shutdown request \
-          arrives; with $(b,--stats-json), writes the final counter \
-          snapshot on exit.")
+          requests coalesce onto one search. Admission control sheds \
+          excess load with typed responses ($(b,--max-conns), \
+          $(b,--max-queue)), a per-key circuit breaker fast-fails poison \
+          keys, and SIGTERM/SIGINT drain gracefully — finishing in-flight \
+          work and persisting the warm set, restored (re-certified) on \
+          restart. Runs until a shutdown request or signal arrives; with \
+          $(b,--stats-json), writes the final counter snapshot on exit.")
     Term.(
       ret
-        (const run_serve $ socket $ cache_dir $ capacity $ workers $ stats_json
-        $ fault_plan))
+        (const run_serve $ socket $ cache_dir $ capacity $ workers $ max_conns
+        $ max_queue $ breaker_threshold $ breaker_cooldown $ drain_grace
+        $ stats_json $ fault_plan))
 
 let print_served (s : Serve.Protocol.served) =
   Printf.printf "# %s%s%s: %s (%.3f s server-side)\n" s.Serve.Protocol.status
@@ -1748,11 +1861,25 @@ let print_served (s : Serve.Protocol.served) =
   | "cached" | "synthesized" -> `Ok ()
   | "timed_out" -> exit exit_timeout
   | "exhausted" -> exit exit_exhausted
+  | "overloaded" | "circuit_open" ->
+      (match s.Serve.Protocol.retry_after with
+      | Some r -> Printf.eprintf "synth client: retry in %.1f s\n" r
+      | None -> ());
+      exit exit_overloaded
   | _ -> exit 1
 
 let run_client server op n scratch engine heuristic cut max_len timeout budget
-    optimize stats_json fault_plan =
+    deadline optimize stats_json fault_plan =
   setup_faults fault_plan;
+  (* The absolute deadline propagated with the request: --deadline wins,
+     else it is derived from --timeout (per-attempt budget for the
+     server's default 1+1 attempts, plus a second of slack). *)
+  let abs_deadline =
+    match deadline with
+    | Some d -> Some (Fault.Clock.now () +. d)
+    | None ->
+        Option.map (fun t -> Fault.Clock.now () +. (t *. 2.0) +. 1.0) timeout
+  in
   let req =
     match op with
     | `Stats -> Serve.Protocol.Stats
@@ -1765,7 +1892,14 @@ let run_client server op n scratch engine heuristic cut max_len timeout budget
         if op = `Lookup then Serve.Protocol.Lookup key
         else
           Serve.Protocol.Synth
-            (key, { Serve.Protocol.default_params with timeout; budget; optimize })
+            ( key,
+              {
+                Serve.Protocol.default_params with
+                timeout;
+                budget;
+                optimize;
+                deadline = abs_deadline;
+              } )
   in
   match Serve.Client.roundtrip ~socket:server req with
   | Error msg ->
@@ -1774,6 +1908,11 @@ let run_client server op n scratch engine heuristic cut max_len timeout budget
   | Ok (Serve.Protocol.Refused msg) ->
       Printf.eprintf "synth client: server refused: %s\n" msg;
       exit 1
+  | Ok (Serve.Protocol.Overloaded retry_after) ->
+      Printf.eprintf
+        "synth client: server overloaded (connection budget); retry in %.1f s\n"
+        retry_after;
+      exit exit_overloaded
   | Ok Serve.Protocol.Goodbye ->
       Printf.printf "# server shutting down\n";
       `Ok ()
@@ -1814,6 +1953,18 @@ let client_cmd =
              (cache/registry probe only, never searches), $(b,stats) \
              (counter snapshot as JSON), or $(b,shutdown).")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Total patience for this request, propagated to the server as \
+             an absolute deadline: a request still queued when it passes \
+             is shed server-side ('timed_out') instead of burning a \
+             worker. Defaults to a deadline derived from $(b,--timeout) \
+             when that is set.")
+  in
   Cmd.v
     (Cmd.info "client" ~exits
        ~doc:
@@ -1822,12 +1973,13 @@ let client_cmd =
           prints exactly as a local synthesis would print it. Exit code 5 \
           when the daemon is unreachable or the response is torn or \
           unparsable; otherwise the served status maps to the usual codes \
-          (cached/synthesized 0, timed out 2, exhausted 3, failed 1).")
+          (cached/synthesized 0, timed out 2, exhausted 3, shed by the \
+          server — overloaded or circuit_open — 6, failed 1).")
     Term.(
       ret
         (const run_client $ server $ op $ n $ scratch $ engine $ heuristic
-        $ cut $ max_len $ timeout_arg $ state_budget $ optimize_flag
-        $ stats_json $ fault_plan))
+        $ cut $ max_len $ timeout_arg $ state_budget $ deadline
+        $ optimize_flag $ stats_json $ fault_plan))
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,6 +11,10 @@ type site =
   | Serve_torn_connection
   | Serve_slow_client
   | Serve_worker_death
+  | Serve_overload
+  | Serve_queue_stall
+  | Serve_snapshot_torn
+  | Serve_drain_hang
 
 let all_sites =
   [
@@ -26,6 +30,10 @@ let all_sites =
     Serve_torn_connection;
     Serve_slow_client;
     Serve_worker_death;
+    Serve_overload;
+    Serve_queue_stall;
+    Serve_snapshot_torn;
+    Serve_drain_hang;
   ]
 
 let site_name = function
@@ -41,6 +49,10 @@ let site_name = function
   | Serve_torn_connection -> "serve.torn_connection"
   | Serve_slow_client -> "serve.slow_client"
   | Serve_worker_death -> "serve.worker_death"
+  | Serve_overload -> "serve.overload"
+  | Serve_queue_stall -> "serve.queue_stall"
+  | Serve_snapshot_torn -> "serve.snapshot_torn"
+  | Serve_drain_hang -> "serve.drain_hang"
 
 let site_index = function
   | Registry_write_kernel -> 0
@@ -55,6 +67,10 @@ let site_index = function
   | Serve_torn_connection -> 9
   | Serve_slow_client -> 10
   | Serve_worker_death -> 11
+  | Serve_overload -> 12
+  | Serve_queue_stall -> 13
+  | Serve_snapshot_torn -> 14
+  | Serve_drain_hang -> 15
 
 let n_sites = List.length all_sites
 

@@ -65,6 +65,24 @@ type site =
       (** [serve.worker_death] — a resident pool worker dies after
           claiming a request and before completing it. Only that request
           fails; the pool keeps serving. *)
+  | Serve_overload
+      (** [serve.overload] — the daemon's admission gate rejects the
+          request as if the worker queue were full: a typed
+          ["overloaded"] shed response, no worker touched. *)
+  | Serve_queue_stall
+      (** [serve.queue_stall] — a long queue wait, simulated by warping
+          {!Clock} forward at the moment a worker claims the job; with a
+          propagated deadline the claim then sheds the request as
+          expired-in-queue. *)
+  | Serve_snapshot_torn
+      (** [serve.snapshot_torn] — the drain-time warm-set snapshot is
+          written truncated, as a crash mid-write would leave it; the
+          restart must fall back to a cold start, never serve from it. *)
+  | Serve_drain_hang
+      (** [serve.drain_hang] — in-flight work that never finishes during
+          drain: the drain grace period elapses instantly on the warped
+          clock, so drain must abandon the stragglers and still write
+          the snapshot. *)
 
 val all_sites : site list
 val site_name : site -> string

@@ -32,7 +32,14 @@ let add_float b x =
       (if x > 0. then "1e308" else if x < 0. then "-1e308" else "0.0")
   else if Float.is_integer x && Float.abs x < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.1f" x)
-  else Buffer.add_string b (Printf.sprintf "%.9g" x)
+  else
+    (* Shortest of %.9g/%.17g that parses back to exactly x. %.9g alone
+       silently rounds epoch-seconds timestamps (10 integer digits) to
+       ~10 s granularity, which moved propagated deadlines by up to 5 s
+       on the wire. *)
+    let s = Printf.sprintf "%.9g" x in
+    let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+    Buffer.add_string b s
 
 let rec add b = function
   | Null -> Buffer.add_string b "null"

@@ -348,6 +348,14 @@ let status_string = function
   | Crashed -> "crashed"
   | Failed _ -> "failed"
 
+(* Outcomes the serve-layer circuit breaker counts as poison evidence:
+   a key that crashes workers or exhausts its state budget will do so
+   again on the next attempt. Timeouts and transient failures do not
+   count — they say more about load than about the key. *)
+let poison_status = function
+  | Crashed | Exhausted _ -> true
+  | Cached | Synthesized | Timed_out | Failed _ -> false
+
 let batch_json batch =
   let job r =
     let attempt a =

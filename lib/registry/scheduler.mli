@@ -167,6 +167,13 @@ val status_string : status -> string
 (** Lower-case JSON tag: ["cached"], ["synthesized"], ["timed_out"],
     ["exhausted"], ["crashed"], or ["failed"]. *)
 
+val poison_status : status -> bool
+(** Outcomes the serve-layer circuit breaker counts as poison evidence
+    ([Crashed] and [Exhausted]): a key that crashes workers or exhausts
+    its budget will do so again next attempt. Timeouts and transient
+    failures say more about load than about the key, so they do not
+    count. *)
+
 val batch_json : batch -> string
 (** Machine-readable batch summary:
     [{"jobs":[...],"registry":{"hits":...}}]. Each job carries [degraded],

@@ -535,6 +535,71 @@ let migrate ~root () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Warm-set snapshot.
+
+   A draining daemon persists its LRU working set — keys only, never
+   kernels — so a restart can rebuild the cache before traffic returns.
+   Keys carry no trust: restore re-admits each one through [lookup],
+   which re-certifies via the usual admission path, so a tampered
+   snapshot can at worst name keys that fail certification and get
+   quarantined. The write is crash-safe in the store's own idiom:
+   fsync-before-rename, with serve.snapshot_torn simulating a crash
+   mid-write (the published file is torn and restore falls back to a
+   cold start). *)
+
+let warmset_schema = "sortsynth-serve-warmset/v1"
+let warmset_path root = root / "warmset.json"
+
+let write_warmset ~root keys =
+  mkdir_p root;
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("schema", Json.Str warmset_schema);
+           ("keys", Json.Arr (List.map Key.to_json keys));
+         ])
+    ^ "\n"
+  in
+  let body = if Fault.fire Fault.Serve_snapshot_torn then torn body else body in
+  let tmp = root / ".warmset.tmp" in
+  match
+    write_file tmp body;
+    fsync_path tmp;
+    Sys.rename tmp (warmset_path root);
+    fsync_path root
+  with
+  | () -> Ok (List.length keys)
+  | exception (Sys_error m | Unix.Unix_error (_, m, _)) ->
+      (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "cannot write warm-set snapshot: %s" m)
+
+let read_warmset ~root =
+  let path = warmset_path root in
+  if not (Sys.file_exists path) then Ok []
+  else
+    let* src = (try Ok (read_file path) with Sys_error m -> Error m) in
+    let* j = Json.parse src in
+    let* schema =
+      match Json.member "schema" j with
+      | Some v -> Json.to_str v
+      | None -> Error "warm-set snapshot: missing \"schema\""
+    in
+    if schema <> warmset_schema then
+      Error (Printf.sprintf "warm-set snapshot: unsupported schema %S" schema)
+    else
+      match Json.member "keys" j with
+      | Some (Json.Arr items) ->
+          List.fold_left
+            (fun acc kj ->
+              let* acc = acc in
+              let* key = Key.of_json kj in
+              Ok (key :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+      | _ -> Error "warm-set snapshot: missing \"keys\" array"
+
+(* ------------------------------------------------------------------ *)
 (* Maintenance.                                                        *)
 
 let list_hashes ~root = (scan ~root).hashes

@@ -194,6 +194,22 @@ val verify_all :
 
 val quarantine_count : root:string -> int
 
+val warmset_path : string -> string
+(** [<root>/warmset.json] — where the daemon's drain persists its LRU
+    working set. *)
+
+val write_warmset : root:string -> Key.t list -> (int, string) result
+(** Atomically persist a warm-set snapshot (keys only, MRU first):
+    staged to a temp file, fsynced, renamed into place — the store's own
+    crash discipline. The [serve.snapshot_torn] fault site truncates the
+    bytes, simulating a crash mid-write. Returns the key count. *)
+
+val read_warmset : root:string -> (Key.t list, string) result
+(** Parse the snapshot back, MRU first; [Ok []] when no snapshot exists.
+    Any damage — torn JSON, wrong schema, a malformed key — is an
+    [Error], and the caller starts cold. The keys carry {e no} trust:
+    restoring admits each one through {!lookup}, which re-certifies. *)
+
 type gc_report = {
   kept : int;  (** Entries that certified and remain servable. *)
   purged : int;  (** Quarantine directories removed (or listed, dry run). *)

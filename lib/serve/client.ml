@@ -7,7 +7,17 @@
 
 type connection = { ic : in_channel; oc : out_channel }
 
+(* A server that sheds the connection (overload) closes its end as soon
+   as the typed response is written — possibly while we are still
+   flushing the request. That write must surface as EPIPE/Sys_error,
+   not kill the process with SIGPIPE. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let connect ~socket =
+  Lazy.force ignore_sigpipe;
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "cannot create socket: %s" (Unix.error_message e))
@@ -19,9 +29,12 @@ let connect ~socket =
           Error
             (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)))
 
-let close c =
-  (try close_out_noerr c.oc with _ -> ());
-  close_in_noerr c.ic
+(* Close once: both channels share the descriptor, and closing the
+   second would re-close the same fd number — which, in a threaded
+   process that has meanwhile reused it (the in-process test harness
+   runs client and server threads side by side), closes somebody else's
+   descriptor. *)
+let close c = try close_out_noerr c.oc with _ -> ()
 
 let request c req =
   match

@@ -94,6 +94,17 @@ let remove t canonical =
 let length t = locked t (fun () -> Hashtbl.length t.table)
 let capacity t = t.capacity
 
+(* Registry keys, most recently used first — the warm set a draining
+   server persists so a restart can re-admit (and re-certify) the same
+   working set before traffic returns. *)
+let keys t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.entry.Registry.Store.key :: acc) n.next
+      in
+      go [] t.head)
+
 (* Canonical keys, most recently used first — test introspection. *)
 let contents t =
   locked t (fun () ->

@@ -37,6 +37,10 @@ val capacity : t -> int
 val contents : t -> string list
 (** Canonical keys, most recently used first (test introspection). *)
 
+val keys : t -> Registry.Key.t list
+(** Registry keys, most recently used first — the warm set a draining
+    server persists via {!Registry.Store.write_warmset}. *)
+
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 val stats : t -> stats

@@ -1,4 +1,4 @@
-(** Persistent [Domain] worker pool.
+(** Persistent [Domain] worker pool with bounded admission.
 
     The daemon's CPU-bound half: searches run on a fixed set of domains
     spawned once at startup, while connection threads (cheap, blocking
@@ -9,7 +9,14 @@
     deadline as a batch job — without the per-batch spawn/join cost.
 
     Workers never touch the store; persistence stays on the submitting
-    thread, exactly like [run_batch]'s main-domain merge pass. *)
+    thread, exactly like [run_batch]'s main-domain merge pass.
+
+    Overload safety is enforced at the two moments a job changes hands:
+    submission fails fast against a full queue ({!Queue_full}), and a
+    claim re-checks the job's absolute deadline on the warped
+    {!Fault.Clock} ({!Expired_in_queue} — the closure never runs).
+    {!drain} sheds the unclaimed backlog ({!Drained}) and refuses new
+    submissions while running jobs finish. *)
 
 exception Worker_died
 (** The [serve.worker_death] fault site fired as a worker claimed the
@@ -19,17 +26,53 @@ exception Worker_died
 exception Pool_stopped
 (** Submitted after {!shutdown}. *)
 
+exception Queue_full
+(** Submission refused: [max_queue] jobs are already waiting. The
+    caller should shed the request with an "overloaded" response. *)
+
+exception Expired_in_queue
+(** The job's deadline passed while it sat in the queue; a worker
+    claimed it, checked the clock, and shed it without running the
+    closure. *)
+
+exception Drained
+(** The pool is draining: queued jobs are completed with this, and new
+    submissions are refused with it. *)
+
+val queue_stall_warp : float
+(** How far the [serve.queue_stall] fault site warps {!Fault.Clock}
+    forward at claim time — a deterministic stand-in for a long queue
+    wait. *)
+
 type t
 
-val create : workers:int -> t
-(** Spawn [max 1 workers] domains that live until {!shutdown}. *)
+val create : ?max_queue:int -> workers:int -> unit -> t
+(** Spawn [max 1 workers] domains that live until {!shutdown}. At most
+    [max_queue] submitted jobs may wait unclaimed (default unbounded);
+    note every job passes through the queue, so [max_queue = 0] refuses
+    all work. *)
 
-val run : t -> (unit -> 'a) -> ('a, exn) result
-(** Submit a closure and block until a worker has run it. Exceptions the
-    closure raises come back as [Error] — they never kill the worker. *)
+val run : ?deadline:float -> t -> (unit -> 'a) -> ('a, exn) result
+(** Submit a closure and block until a worker has run it (or admission
+    shed it — see the exceptions above). [deadline] is absolute on the
+    warped {!Fault.Clock}. Exceptions the closure raises come back as
+    [Error] — they never kill the worker. *)
 
 val size : t -> int
 val worker_deaths : t -> int
+
+val queued : t -> int
+(** Jobs currently waiting unclaimed. *)
+
+val queue_hwm : t -> int
+(** High-water mark of {!queued} over the pool's lifetime. *)
+
+val drain : t -> unit
+(** Shed the unclaimed backlog with {!Drained} (completed immediately,
+    on the calling thread — no worker involvement) and refuse new
+    submissions; running jobs finish normally. *)
+
+val draining : t -> bool
 
 val shutdown : t -> unit
 (** Stop accepting jobs, drain the queue, join every worker. Idempotent. *)

@@ -14,10 +14,21 @@ type synth_params = {
   retries : int;
   backoff : float;
   optimize : bool;
+  deadline : float option;
+      (* Absolute, on the fault clock: the instant after which the client
+         no longer wants the answer. The server sheds the request if it
+         expires while queued instead of burning a worker on it. *)
 }
 
 let default_params =
-  { timeout = None; budget = None; retries = 1; backoff = 0.05; optimize = false }
+  {
+    timeout = None;
+    budget = None;
+    retries = 1;
+    backoff = 0.05;
+    optimize = false;
+    deadline = None;
+  }
 
 type request =
   | Lookup of Key.t
@@ -38,6 +49,9 @@ type served = {
   elapsed : float;
   coalesced : bool;
   error : string option;
+  retry_after : float option;
+      (* Shed responses ("overloaded" / "circuit_open") carry a hint for
+         how long the client should back off before retrying. *)
 }
 
 type response =
@@ -46,6 +60,10 @@ type response =
   | Snapshot of Json.t
   | Goodbye
   | Refused of string
+  | Overloaded of float
+      (* Connection-level shed: the server is at its connection budget
+         (or draining) and refuses the whole connection — typed, never a
+         silent close. Carries the retry_after hint in seconds. *)
 
 (* ---------- requests ---------- *)
 
@@ -57,6 +75,9 @@ let params_fields p =
       [ ("retries", Json.Int p.retries) ];
       [ ("backoff", Json.Float p.backoff) ];
       [ ("optimize", Json.Bool p.optimize) ];
+      (match p.deadline with
+      | Some d -> [ ("deadline", Json.Float d) ]
+      | None -> []);
     ]
 
 let request_to_json = function
@@ -90,9 +111,12 @@ let params_of_json j =
       (function Json.Bool b -> Ok b | _ -> Error "optimize: expected bool")
       default_params.optimize
   in
+  let* deadline =
+    field "deadline" (fun v -> Result.map Option.some (Json.to_float v)) None
+  in
   if retries < 0 then Error "retries: must be >= 0"
   else if backoff < 0. then Error "backoff: must be >= 0"
-  else Ok { timeout; budget; retries; backoff; optimize }
+  else Ok { timeout; budget; retries; backoff; optimize; deadline }
 
 let request_of_json j =
   match Json.member "op" j with
@@ -136,6 +160,7 @@ let parse_request line =
 
 let opt_str = function Some s -> Json.Str s | None -> Json.Null
 let opt_int = function Some i -> Json.Int i | None -> Json.Null
+let opt_float = function Some f -> Json.Float f | None -> Json.Null
 
 let served_fields s =
   [
@@ -150,6 +175,7 @@ let served_fields s =
     ("elapsed_s", Json.Float s.elapsed);
     ("coalesced", Json.Bool s.coalesced);
     ("error", opt_str s.error);
+    ("retry_after_s", opt_float s.retry_after);
   ]
 
 let response_to_json = function
@@ -166,6 +192,14 @@ let response_to_json = function
       Json.Obj [ ("ok", Json.Bool true); ("type", Json.Str "stats"); ("stats", j) ]
   | Goodbye -> Json.Obj [ ("ok", Json.Bool true); ("type", Json.Str "goodbye") ]
   | Refused msg -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+  | Overloaded retry_after ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("type", Json.Str "overloaded");
+          ("error", Json.Str "server overloaded: connection budget exhausted");
+          ("retry_after_s", Json.Float retry_after);
+        ]
 
 let served_of_json j =
   let str name =
@@ -187,6 +221,11 @@ let served_of_json j =
     | Some v -> ( match Json.to_float v with Ok f -> f | Error _ -> default)
     | None -> default
   in
+  let onum name =
+    match Json.member name j with
+    | Some (Json.Null) | None -> None
+    | Some v -> ( match Json.to_float v with Ok f -> Some f | Error _ -> None)
+  in
   let* status = str "status" in
   let* canonical = str "canonical" in
   Ok
@@ -202,14 +241,24 @@ let served_of_json j =
       elapsed = num "elapsed_s" 0.;
       coalesced = bool "coalesced";
       error = ostr "error";
+      retry_after = onum "retry_after_s";
     }
 
 let response_of_json j =
   match Json.member "ok" j with
   | Some (Json.Bool false) -> (
-      match Json.member "error" j with
-      | Some (Json.Str msg) -> Ok (Refused msg)
-      | _ -> Ok (Refused "unspecified server error"))
+      match Json.member "type" j with
+      | Some (Json.Str "overloaded") ->
+          let retry_after =
+            match Json.member "retry_after_s" j with
+            | Some v -> ( match Json.to_float v with Ok f -> f | Error _ -> 0.1)
+            | None -> 0.1
+          in
+          Ok (Overloaded retry_after)
+      | _ -> (
+          match Json.member "error" j with
+          | Some (Json.Str msg) -> Ok (Refused msg)
+          | _ -> Ok (Refused "unspecified server error")))
   | Some (Json.Bool true) -> (
       match Json.member "type" j with
       | Some (Json.Str "served") -> Result.map (fun s -> Served s) (served_of_json j)

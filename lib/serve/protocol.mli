@@ -11,10 +11,12 @@
               | {"op":"stats"}
               | {"op":"shutdown"}
     PARAMS   := "timeout":F? "budget":I? "retries":I "backoff":F "optimize":B
+                "deadline":F?
     response := {"ok":true,"type":"served", SERVED}
               | {"ok":true,"type":"jobs","jobs":[{SERVED}...]}
               | {"ok":true,"type":"stats","stats":{...}}
               | {"ok":true,"type":"goodbye"}
+              | {"ok":false,"type":"overloaded","retry_after_s":F,"error":S}
               | {"ok":false,"error":S}
     v}
 
@@ -29,6 +31,11 @@ type synth_params = {
   retries : int;
   backoff : float;
   optimize : bool;  (** Run the certified optimizer pipeline on misses. *)
+  deadline : float option;
+      (** Absolute instant (on the warped {!Fault.Clock}) after which
+          the client no longer wants the answer. The server sheds the
+          request — before dispatch or at queue claim — once this
+          passes, and caps the search timeout at whatever remains. *)
 }
 
 val default_params : synth_params
@@ -60,9 +67,14 @@ type served = {
   coalesced : bool;
       (** This response rode on another in-flight request's search. *)
   error : string option;
+  retry_after : float option;
+      (** On shed responses (["overloaded"] / ["circuit_open"]): how
+          long the client should back off before retrying, seconds. *)
 }
 (** One served kernel request — the wire form of a
-    {!Registry.Scheduler.job_result}. *)
+    {!Registry.Scheduler.job_result}. Load-shedding statuses:
+    ["overloaded"] (queue full or draining) and ["circuit_open"] (the
+    key's breaker is tripped); both carry [retry_after]. *)
 
 type response =
   | Served of served
@@ -70,6 +82,10 @@ type response =
   | Snapshot of Registry.Json.t  (** The [stats] counter object. *)
   | Goodbye  (** Shutdown acknowledged; the daemon exits after sending. *)
   | Refused of string  (** Malformed or unserveable request. *)
+  | Overloaded of float
+      (** Connection-level shed: the server is at its connection budget
+          and refuses the whole connection — typed, never a silent
+          close. Carries the retry_after hint in seconds. *)
 
 val request_to_json : request -> Registry.Json.t
 val request_of_json : Registry.Json.t -> (request, string) result

@@ -302,6 +302,93 @@ cmp -s "$servedir/sharded.list" "$servedir/migrated.list" \
   || { echo "registry listing changed across the migrate round trip" >&2; exit 1; }
 "$synth" registry verify --cache-dir "$reg" > /dev/null \
   || { echo "registry verify failed after migrate" >&2; exit 1; }
+
+echo "== daemon overload: typed shed, exit 6, never a hang =="
+# With the admission gate forced shut by the fault plan, every synth
+# request must come back as a typed "overloaded" response with a retry
+# hint (client exit 6) — not a hang and not a silent drop.
+ov_sock="$servedir/ov.sock"
+"$synth" serve --socket "$ov_sock" --cache-dir "$servedir/ov-registry" \
+  --fault-plan 'seed=1;serve.overload=always' \
+  > "$servedir/ov-serve.log" 2>&1 &
+ov_pid=$!
+i=0
+while [ ! -S "$ov_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "overload daemon never bound its socket" >&2; exit 1; }
+  sleep 0.1
+done
+set +e
+"$synth" client --server "$ov_sock" -n 3 \
+  > "$servedir/ov.out" 2> "$servedir/ov.err"
+code=$?
+set -e
+[ "$code" -eq 6 ] \
+  || { echo "overloaded request exited $code, want 6" >&2; exit 1; }
+grep -q "^# overloaded" "$servedir/ov.out" \
+  || { echo "shed response was not typed overloaded" >&2; exit 1; }
+grep -q "retry in" "$servedir/ov.err" \
+  || { echo "shed response carried no retry_after hint" >&2; exit 1; }
+"$synth" client --server "$ov_sock" --op shutdown > /dev/null \
+  || { echo "overloaded daemon refused shutdown" >&2; exit 1; }
+wait "$ov_pid" \
+  || { echo "overload daemon exited non-zero" >&2; exit 1; }
+
+echo "== graceful drain: SIGTERM, warm-set snapshot, warm restart =="
+dr_sock="$servedir/drain.sock"
+dr_reg="$servedir/drain-registry"
+"$synth" serve --socket "$dr_sock" --cache-dir "$dr_reg" \
+  > "$servedir/drain1.log" 2>&1 &
+dr_pid=$!
+i=0
+while [ ! -S "$dr_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "drain daemon never bound its socket" >&2; exit 1; }
+  sleep 0.1
+done
+"$synth" client --server "$dr_sock" -n 3 > /dev/null \
+  || { echo "drain-test synthesis failed" >&2; exit 1; }
+# Load while the signal lands: warm lookups racing the drain either get
+# served (warm hits serve during drain) or see the connection refused —
+# both fine; the daemon must still exit 0 with a whole snapshot.
+for i in 1 2 3; do
+  "$synth" client --server "$dr_sock" --op lookup -n 3 > /dev/null 2>&1 &
+done
+kill -TERM "$dr_pid"
+wait "$dr_pid" \
+  || { echo "daemon exited non-zero after SIGTERM" >&2; exit 1; }
+wait || true # collect the racing lookups, whatever they saw
+[ -f "$dr_reg/warmset.json" ] \
+  || { echo "drain left no warm-set snapshot" >&2; exit 1; }
+grep -q "sortsynth-serve-warmset/v1" "$dr_reg/warmset.json" \
+  || { echo "warm-set snapshot has the wrong schema" >&2; exit 1; }
+# Warm restart: the snapshot is restored through the certified lookup
+# path at open, and the first request is a memory hit — zero exact
+# re-certifications across it.
+"$synth" serve --socket "$dr_sock" --cache-dir "$dr_reg" \
+  > "$servedir/drain2.log" 2>&1 &
+dr2_pid=$!
+i=0
+while [ ! -S "$dr_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "restarted daemon never bound its socket" >&2; exit 1; }
+  sleep 0.1
+done
+"$synth" client --server "$dr_sock" --op stats > "$servedir/dr-before.json"
+[ "$(counter "$servedir/dr-before.json" restored)" -ge 1 ] \
+  || { echo "restart did not restore the warm set" >&2; exit 1; }
+"$synth" client --server "$dr_sock" --op lookup -n 3 > "$servedir/dr-warm.out" \
+  || { echo "restored lookup failed" >&2; exit 1; }
+grep -q "# cached from memory" "$servedir/dr-warm.out" \
+  || { echo "restored key was not served from memory" >&2; exit 1; }
+"$synth" client --server "$dr_sock" --op stats > "$servedir/dr-after.json"
+[ "$(counter "$servedir/dr-before.json" certifications)" = \
+  "$(counter "$servedir/dr-after.json" certifications)" ] \
+  || { echo "warm restart re-certified on the serving path" >&2; exit 1; }
+"$synth" client --server "$dr_sock" --op shutdown > /dev/null \
+  || { echo "restarted daemon refused shutdown" >&2; exit 1; }
+wait "$dr2_pid" \
+  || { echo "restarted daemon exited non-zero" >&2; exit 1; }
 rm -rf "$servedir"
 
 fi # SMOKE_ONLY=serve guard

@@ -19,7 +19,17 @@ let make_entry root key =
   | Error msg -> Alcotest.fail ("insert: " ^ msg)
 
 let default_config root socket =
-  { Serve.Server.socket_path = socket; root; capacity = 8; workers = 2 }
+  {
+    Serve.Server.socket_path = socket;
+    root;
+    capacity = 8;
+    workers = 2;
+    max_conns = 64;
+    max_queue = 32;
+    breaker_threshold = 3;
+    breaker_cooldown = 5.0;
+    drain_grace = 5.0;
+  }
 
 let synth_req key = Serve.Protocol.Synth (key, Serve.Protocol.default_params)
 
@@ -35,6 +45,27 @@ let serve_counter snapshot name =
   with
   | Some (Registry.Json.Int n) -> n
   | _ -> Alcotest.fail ("stats: missing serve counter " ^ name)
+
+(* Walk a path of object members down the stats snapshot to an int. *)
+let serve_nested snapshot path =
+  let rec go j = function
+    | [] -> (
+        match j with
+        | Registry.Json.Int n -> n
+        | _ -> Alcotest.fail ("stats: not an int at " ^ String.concat "." path))
+    | name :: rest -> (
+        match Registry.Json.member name j with
+        | Some v -> go v rest
+        | None ->
+            Alcotest.fail
+              ("stats: missing " ^ name ^ " in " ^ String.concat "." path))
+  in
+  go snapshot path
+
+let install_plan spec =
+  match Fault.plan_of_string spec with
+  | Ok plan -> Fault.install plan
+  | Error msg -> Alcotest.fail msg
 
 (* ------------------------------------------------------------------ *)
 (* LRU.                                                                *)
@@ -112,6 +143,10 @@ let test_protocol_roundtrip () =
             retries = 2;
             backoff = 0.1;
             optimize = true;
+            (* Epoch-seconds scale on purpose: 10 integer digits once
+               overflowed the float printer's precision and rounded
+               propagated deadlines by up to 5 s on the wire. *)
+            deadline = Some 1754640123.4567;
           } );
       Serve.Protocol.Batch ([ key2; key3 ], Serve.Protocol.default_params);
       Serve.Protocol.Stats;
@@ -128,6 +163,18 @@ let test_protocol_roundtrip () =
             (Registry.Json.to_string (Serve.Protocol.request_to_json req))
             (Registry.Json.to_string (Serve.Protocol.request_to_json req')))
     reqs;
+  (* Re-print stability above cannot see a lossy printer (both sides
+     round identically); the deadline must come back bit-exact. *)
+  (match
+     Serve.Protocol.parse_request
+       (String.trim (Serve.Protocol.request_line (List.nth reqs 1)))
+   with
+  | Ok (Serve.Protocol.Synth (_, p)) ->
+      check
+        Alcotest.(option (float 0.))
+        "deadline survives the wire bit-exactly"
+        (Some 1754640123.4567) p.Serve.Protocol.deadline
+  | _ -> Alcotest.fail "expected the synth request to parse back");
   let served =
     {
       Serve.Protocol.status = "synthesized";
@@ -141,6 +188,18 @@ let test_protocol_roundtrip () =
       elapsed = 0.25;
       coalesced = true;
       error = None;
+      retry_after = None;
+    }
+  in
+  let shed =
+    {
+      served with
+      Serve.Protocol.status = "circuit_open";
+      source = None;
+      kernel = None;
+      length = None;
+      error = Some "circuit breaker open";
+      retry_after = Some 4.5;
     }
   in
   List.iter
@@ -154,16 +213,18 @@ let test_protocol_roundtrip () =
             (Registry.Json.to_string (Serve.Protocol.response_to_json resp')))
     [
       Serve.Protocol.Served served;
+      Serve.Protocol.Served shed;
       Serve.Protocol.Jobs [ served; { served with Serve.Protocol.coalesced = false } ];
       Serve.Protocol.Goodbye;
       Serve.Protocol.Refused "bad request: no op";
+      Serve.Protocol.Overloaded 0.25;
     ]
 
 (* ------------------------------------------------------------------ *)
 (* Pool.                                                               *)
 
 let test_pool_runs_and_survives_exceptions () =
-  let pool = Serve.Pool.create ~workers:2 in
+  let pool = Serve.Pool.create ~workers:2 () in
   Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
   (match Serve.Pool.run pool (fun () -> 6 * 7) with
   | Ok v -> check Alcotest.int "result" 42 v
@@ -178,11 +239,9 @@ let test_pool_runs_and_survives_exceptions () =
   | _ -> Alcotest.fail "pool died with the job"
 
 let test_pool_worker_death_isolated () =
-  (match Fault.plan_of_string "seed=7;serve.worker_death=nth:1" with
-  | Ok plan -> Fault.install plan
-  | Error msg -> Alcotest.fail msg);
+  install_plan "seed=7;serve.worker_death=nth:1";
   Fun.protect ~finally:Fault.disarm @@ fun () ->
-  let pool = Serve.Pool.create ~workers:1 in
+  let pool = Serve.Pool.create ~workers:1 () in
   Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
   (match Serve.Pool.run pool (fun () -> 1) with
   | Error Serve.Pool.Worker_died -> ()
@@ -193,6 +252,127 @@ let test_pool_worker_death_isolated () =
   match Serve.Pool.run pool (fun () -> 2) with
   | Ok 2 -> ()
   | _ -> Alcotest.fail "pool did not survive the worker death"
+
+(* Admission: with one worker wedged on a gate and a 1-slot queue, a
+   third submission must be refused immediately with Queue_full — bounded
+   waiting, never an unbounded backlog. *)
+let test_pool_bounded_queue () =
+  let pool = Serve.Pool.create ~max_queue:1 ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Atomic.make false in
+  let r1 = ref (Ok 0) in
+  let t1 =
+    Thread.create
+      (fun () ->
+        r1 :=
+          Serve.Pool.run pool (fun () ->
+              Atomic.set started true;
+              Mutex.lock gate;
+              Mutex.unlock gate;
+              1))
+      ()
+  in
+  (* Wait until the only worker has claimed (and is wedged on) job 1. *)
+  while not (Atomic.get started) do
+    Thread.yield ()
+  done;
+  let r2 = ref (Ok 0) in
+  let t2 =
+    Thread.create (fun () -> r2 := Serve.Pool.run pool (fun () -> 2)) ()
+  in
+  (* Job 2 fills the single queue slot... *)
+  while Serve.Pool.queued pool < 1 do
+    Thread.yield ()
+  done;
+  (* ...so job 3 is shed at submission, before anything blocks. *)
+  (match Serve.Pool.run pool (fun () -> 3) with
+  | Error Serve.Pool.Queue_full -> ()
+  | Ok _ -> Alcotest.fail "queue bound not enforced"
+  | Error e -> Alcotest.fail (Printexc.to_string e));
+  Mutex.unlock gate;
+  Thread.join t1;
+  Thread.join t2;
+  check Alcotest.bool "wedged job completed" true (!r1 = Ok 1);
+  check Alcotest.bool "queued job completed" true (!r2 = Ok 2);
+  check Alcotest.int "queue high-water mark" 1 (Serve.Pool.queue_hwm pool)
+
+(* Deadline propagation: the queue_stall site warps the clock at claim
+   time, so a job with a propagated deadline is shed as expired-in-queue
+   and its closure never runs. No sleeps anywhere. *)
+let test_pool_queue_stall_sheds_expired () =
+  install_plan "seed=2;serve.queue_stall=nth:1";
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let pool = Serve.Pool.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  let ran = ref false in
+  let deadline = Fault.Clock.now () +. (Serve.Pool.queue_stall_warp /. 2.) in
+  (match Serve.Pool.run ~deadline pool (fun () -> ran := true) with
+  | Error Serve.Pool.Expired_in_queue -> ()
+  | Ok _ -> Alcotest.fail "stalled job was not shed"
+  | Error e -> Alcotest.fail (Printexc.to_string e));
+  check Alcotest.bool "expired closure never ran" false !ran;
+  (* A fresh deadline (or none) serves normally after the stall. *)
+  match Serve.Pool.run pool (fun () -> 7) with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "pool did not keep serving after the stall"
+
+(* ------------------------------------------------------------------ *)
+(* Breaker: the full state machine on the warped clock.                *)
+
+let test_breaker_state_machine () =
+  let b = Serve.Breaker.create ~threshold:2 ~cooldown:10.0 in
+  let k = "n=9" in
+  let admit () = Serve.Breaker.admit b k in
+  (match admit () with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "closed breaker rejected");
+  Serve.Breaker.failure b k;
+  (match admit () with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "tripped below threshold");
+  Serve.Breaker.failure b k;
+  (* Threshold reached: open, fast-fail with a positive hint. *)
+  (match admit () with
+  | Serve.Breaker.Reject r ->
+      check Alcotest.bool "positive retry hint" true (r > 0.)
+  | Serve.Breaker.Allow -> Alcotest.fail "open breaker admitted");
+  check
+    Alcotest.(list (triple string string int))
+    "tracked as open"
+    [ (k, "open", 2) ]
+    (Serve.Breaker.tracked b);
+  (* Cooldown elapses on the warped clock: one half-open probe. *)
+  Fault.Clock.warp 11.0;
+  (match admit () with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "no half-open probe");
+  (match admit () with
+  | Serve.Breaker.Reject _ -> ()
+  | Serve.Breaker.Allow -> Alcotest.fail "half-open admitted two probes");
+  (* Probe fails: re-trip immediately. *)
+  Serve.Breaker.failure b k;
+  (match admit () with
+  | Serve.Breaker.Reject _ -> ()
+  | Serve.Breaker.Allow -> Alcotest.fail "failed probe did not re-trip");
+  Fault.Clock.warp 11.0;
+  (match admit () with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "no second probe");
+  (* Probe succeeds: recovery, key forgotten. *)
+  Serve.Breaker.success b k;
+  (match admit () with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "recovered key still gated");
+  check
+    Alcotest.(list (triple string string int))
+    "forgotten after recovery" [] (Serve.Breaker.tracked b);
+  let c = Serve.Breaker.counters b in
+  check Alcotest.int "trips" 2 c.Serve.Breaker.trips;
+  check Alcotest.int "half_opens" 2 c.Serve.Breaker.half_opens;
+  check Alcotest.int "recoveries" 1 c.Serve.Breaker.recoveries;
+  check Alcotest.int "rejections" 3 c.Serve.Breaker.rejections
 
 (* ------------------------------------------------------------------ *)
 (* Server: serving layers and coalescing.                              *)
@@ -301,6 +481,362 @@ let test_serve_quarantine_resynthesizes () =
     (serve_counter snap "recover_runs" >= 2)
 
 (* ------------------------------------------------------------------ *)
+(* Overload, deadline, and breaker behavior through the server.        *)
+
+(* serve.overload forces the admission gate shut: a typed "overloaded"
+   response with a retry hint, counted under shed.queue_full — and the
+   moment the plan is disarmed, the same request serves normally. *)
+let test_overload_site_sheds () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  install_plan "seed=1;serve.overload=always";
+  let s =
+    Fun.protect ~finally:Fault.disarm @@ fun () ->
+    served_exn (Serve.Server.handle srv (synth_req key3))
+  in
+  check Alcotest.string "typed shed" "overloaded" s.Serve.Protocol.status;
+  check Alcotest.bool "retry hint" true (s.Serve.Protocol.retry_after <> None);
+  check Alcotest.bool "no kernel" true (s.Serve.Protocol.kernel = None);
+  check Alcotest.int "counted as queue_full shed" 1
+    (serve_nested (Serve.Server.snapshot srv) [ "serve"; "shed"; "queue_full" ]);
+  let s2 = served_exn (Serve.Server.handle srv (synth_req key3)) in
+  check Alcotest.string "serves once disarmed" "synthesized"
+    s2.Serve.Protocol.status
+
+(* A request whose propagated deadline has already passed is shed before
+   dispatch: status "timed_out" (the client's timeout taxonomy), never a
+   worker touched. A warm cache hit still serves — answering from memory
+   costs nothing, deadline or not. *)
+let test_deadline_expired_before_dispatch () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  let expired =
+    {
+      Serve.Protocol.default_params with
+      deadline = Some (Fault.Clock.now () -. 1.0);
+    }
+  in
+  let s =
+    served_exn (Serve.Server.handle srv (Serve.Protocol.Synth (key4, expired)))
+  in
+  check Alcotest.string "shed as timed_out" "timed_out" s.Serve.Protocol.status;
+  check Alcotest.int "counted" 1
+    (serve_nested (Serve.Server.snapshot srv)
+       [ "serve"; "shed"; "deadline_expired" ]);
+  check Alcotest.int "no search ran" 0
+    (serve_counter (Serve.Server.snapshot srv) "searches");
+  (* Populate the cache, then repeat with an expired deadline: the warm
+     hit is served anyway. *)
+  ignore (served_exn (Serve.Server.handle srv (synth_req key4)));
+  let warm =
+    served_exn (Serve.Server.handle srv (Serve.Protocol.Synth (key4, expired)))
+  in
+  check Alcotest.string "warm hit beats the deadline" "cached"
+    warm.Serve.Protocol.status
+
+(* Satellite: the poison-key chaos scenario. serve.worker_death=always
+   makes every search for key3 die. With threshold 2 the breaker trips
+   after exactly 2 worker deaths; the third request fast-fails with
+   circuit_open and no worker is burned. A healthy key keeps serving
+   throughout. Disarm + cooldown warp: the half-open probe synthesizes
+   for real and the breaker recovers. *)
+let test_breaker_trips_and_recovers () =
+  let root = fresh_root () in
+  let _ = make_entry root key2 in
+  let srv =
+    Serve.Server.create
+      {
+        (default_config root "unused.sock") with
+        workers = 1;
+        breaker_threshold = 2;
+        breaker_cooldown = 5.0;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  install_plan "seed=3;serve.worker_death=always";
+  (Fun.protect ~finally:Fault.disarm @@ fun () ->
+   let s1 = served_exn (Serve.Server.handle srv (synth_req key3)) in
+   check Alcotest.string "first poison outcome" "crashed"
+     s1.Serve.Protocol.status;
+   let s2 = served_exn (Serve.Server.handle srv (synth_req key3)) in
+   check Alcotest.string "second poison outcome" "crashed"
+     s2.Serve.Protocol.status;
+   (* Tripped: fast-fail, the pool sees nothing. *)
+   let s3 = served_exn (Serve.Server.handle srv (synth_req key3)) in
+   check Alcotest.string "breaker open" "circuit_open" s3.Serve.Protocol.status;
+   check Alcotest.bool "retry hint" true (s3.Serve.Protocol.retry_after <> None);
+   let snap = Serve.Server.snapshot srv in
+   check Alcotest.int "exactly threshold worker deaths" 2
+     (serve_counter snap "worker_deaths");
+   check Alcotest.int "shed counted" 1
+     (serve_nested snap [ "serve"; "shed"; "circuit_open" ]);
+   check Alcotest.int "one trip" 1
+     (serve_nested snap [ "serve"; "breaker"; "trips" ]);
+   (* Other keys are untouched by key3's breaker. *)
+   let h = served_exn (Serve.Server.handle srv (Serve.Protocol.Lookup key2)) in
+   check Alcotest.string "healthy key still serves" "cached"
+     h.Serve.Protocol.status);
+  (* Fault gone, cooldown over (warped clock): half-open probe runs a
+     real search and recovers the key. *)
+  Fault.Clock.warp 6.0;
+  let s4 = served_exn (Serve.Server.handle srv (synth_req key3)) in
+  check Alcotest.string "probe synthesizes" "synthesized"
+    s4.Serve.Protocol.status;
+  let snap = Serve.Server.snapshot srv in
+  check Alcotest.int "half-open counted" 1
+    (serve_nested snap [ "serve"; "breaker"; "half_opens" ]);
+  check Alcotest.int "recovery counted" 1
+    (serve_nested snap [ "serve"; "breaker"; "recoveries" ])
+
+(* ------------------------------------------------------------------ *)
+(* Drain and the warm-set snapshot.                                    *)
+
+(* Drain persists the LRU working set (keys only, MRU first); a restart
+   restores it through the certified lookup path and then serves warm —
+   zero directory scans, zero re-certifications on the restored hit. *)
+let test_drain_persists_and_restores () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  ignore (served_exn (Serve.Server.handle srv (synth_req key2)));
+  ignore (served_exn (Serve.Server.handle srv (synth_req key3)));
+  Serve.Server.drain srv;
+  check Alcotest.bool "draining" true (Serve.Server.draining srv);
+  Serve.Server.drain srv (* idempotent *);
+  check Alcotest.int "snapshot written" 2
+    (serve_nested (Serve.Server.snapshot srv)
+       [ "serve"; "snapshot"; "written" ]);
+  (* New work is refused while draining; warm hits still serve. *)
+  let refused = served_exn (Serve.Server.handle srv (synth_req key4)) in
+  check Alcotest.string "draining sheds new work" "overloaded"
+    refused.Serve.Protocol.status;
+  let warm = served_exn (Serve.Server.handle srv (synth_req key3)) in
+  check Alcotest.string "warm hit during drain" "cached"
+    warm.Serve.Protocol.status;
+  Serve.Server.destroy srv;
+  (match Registry.Store.read_warmset ~root with
+  | Ok keys ->
+      check
+        Alcotest.(list string)
+        "keys only, MRU first"
+        [ Registry.Key.canonical key3; Registry.Key.canonical key2 ]
+        (List.map Registry.Key.canonical keys)
+  | Error msg -> Alcotest.fail ("snapshot unreadable: " ^ msg));
+  (* Restart on the same root: the warm set is restored at open... *)
+  let srv2 = Serve.Server.create (default_config root "unused2.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv2) @@ fun () ->
+  check Alcotest.int "restored" 2
+    (serve_nested (Serve.Server.snapshot srv2)
+       [ "serve"; "snapshot"; "restored" ]);
+  (* ...and the very first request is a memory hit. *)
+  let readdir0 = Registry.Store.readdir_calls () in
+  let certs0 = Registry.Verify.certifications () in
+  let s = served_exn (Serve.Server.handle srv2 (Serve.Protocol.Lookup key2)) in
+  check Alcotest.string "warm from the restored set" "memory"
+    (Option.value ~default:"?" s.Serve.Protocol.source);
+  check Alcotest.int "zero directory scans" 0
+    (Registry.Store.readdir_calls () - readdir0);
+  check Alcotest.int "zero re-certifications" 0
+    (Registry.Verify.certifications () - certs0)
+
+(* Zero trust in the snapshot file: hand-tampered bytes mean a cold
+   start, never a crash and never uncertified serving. *)
+let test_tampered_snapshot_cold_start () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  ignore (served_exn (Serve.Server.handle srv (synth_req key2)));
+  Serve.Server.drain srv;
+  Serve.Server.destroy srv;
+  let oc = open_out (Registry.Store.warmset_path root) in
+  output_string oc "{\"schema\":\"sortsynth-serve-warmset/v1\",\"keys\":[{";
+  close_out oc;
+  (match Registry.Store.read_warmset ~root with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered snapshot parsed");
+  let srv2 = Serve.Server.create (default_config root "unused2.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv2) @@ fun () ->
+  check Alcotest.int "cold start" 0
+    (serve_nested (Serve.Server.snapshot srv2)
+       [ "serve"; "snapshot"; "restored" ]);
+  (* The entry itself is fine — it serves from disk as usual. *)
+  let s = served_exn (Serve.Server.handle srv2 (Serve.Protocol.Lookup key2)) in
+  check Alcotest.string "disk is intact" "disk"
+    (Option.value ~default:"?" s.Serve.Protocol.source)
+
+(* serve.snapshot_torn: the drain-time write crashes mid-file. The torn
+   snapshot is published (exactly what a real crash leaves), and the
+   restart must fall back to a cold start. *)
+let test_torn_snapshot_site () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  ignore (served_exn (Serve.Server.handle srv (synth_req key2)));
+  install_plan "seed=5;serve.snapshot_torn=always";
+  (Fun.protect ~finally:Fault.disarm @@ fun () -> Serve.Server.drain srv);
+  Serve.Server.destroy srv;
+  (match Registry.Store.read_warmset ~root with
+  | Error _ -> ()
+  | Ok [] -> Alcotest.fail "torn snapshot read as empty — site did not fire"
+  | Ok _ -> Alcotest.fail "torn snapshot parsed");
+  let srv2 = Serve.Server.create (default_config root "unused2.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv2) @@ fun () ->
+  check Alcotest.int "cold start after torn snapshot" 0
+    (serve_nested (Serve.Server.snapshot srv2)
+       [ "serve"; "snapshot"; "restored" ])
+
+(* A valid snapshot naming a tampered store entry: restore re-admits
+   through the certified lookup, so the bad entry is quarantined — never
+   in the warm cache — and a fresh request re-synthesizes. *)
+let test_snapshot_cannot_bypass_certification () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  let s1 = served_exn (Serve.Server.handle srv (synth_req key2)) in
+  Serve.Server.drain srv;
+  Serve.Server.destroy srv;
+  (* The snapshot is honest; the kernel bytes underneath it are not. *)
+  let dir = Registry.Store.entry_dir ~root key2 in
+  let oc = open_out (Filename.concat dir "kernel.txt") in
+  output_string oc "mov r1 r2\n";
+  close_out oc;
+  let srv2 = Serve.Server.create (default_config root "unused2.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv2) @@ fun () ->
+  check Alcotest.int "tampered entry not admitted" 0
+    (serve_nested (Serve.Server.snapshot srv2)
+       [ "serve"; "snapshot"; "restored" ]);
+  let s2 = served_exn (Serve.Server.handle srv2 (synth_req key2)) in
+  check Alcotest.string "re-synthesized instead" "synthesized"
+    s2.Serve.Protocol.status;
+  check Alcotest.(option string) "same kernel as before tampering"
+    s1.Serve.Protocol.kernel s2.Serve.Protocol.kernel
+
+(* serve.drain_hang: in-flight work that outlives the grace period. The
+   site burns the grace instantly on the warped clock; drain must come
+   back anyway and still write the snapshot. *)
+let test_drain_hang_abandons_stragglers () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  ignore (served_exn (Serve.Server.handle srv (synth_req key2)));
+  install_plan "seed=8;serve.drain_hang=always";
+  (Fun.protect ~finally:Fault.disarm @@ fun () ->
+   Serve.Server.drain srv;
+   check Alcotest.int "grace burned by the site" 1
+     (Fault.hits Fault.Serve_drain_hang));
+  check Alcotest.int "snapshot still written" 1
+    (serve_nested (Serve.Server.snapshot srv) [ "serve"; "snapshot"; "written" ]);
+  Serve.Server.destroy srv
+
+(* ------------------------------------------------------------------ *)
+(* Stats schema and batch fan-out.                                     *)
+
+(* The serve block is one JSON value the repo's own validator accepts,
+   with every overload/breaker/snapshot field the operators' tooling
+   keys on. *)
+let test_stats_schema () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  ignore (served_exn (Serve.Server.handle srv (synth_req key2)));
+  let snap = Serve.Server.snapshot srv in
+  (match Search.Stats.validate_json (Registry.Json.to_string snap) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("stats snapshot not valid JSON: " ^ msg));
+  List.iter
+    (fun name -> ignore (serve_counter snap name))
+    [
+      "requests"; "active_conns"; "max_conns"; "queued"; "queue_hwm"; "max_queue";
+    ];
+  List.iter
+    (fun path -> ignore (serve_nested snap path))
+    [
+      [ "serve"; "shed"; "queue_full" ];
+      [ "serve"; "shed"; "deadline_expired" ];
+      [ "serve"; "shed"; "circuit_open" ];
+      [ "serve"; "shed"; "conn_budget" ];
+      [ "serve"; "shed"; "draining" ];
+      [ "serve"; "breaker"; "threshold" ];
+      [ "serve"; "breaker"; "trips" ];
+      [ "serve"; "breaker"; "half_opens" ];
+      [ "serve"; "breaker"; "recoveries" ];
+      [ "serve"; "breaker"; "rejections" ];
+      [ "serve"; "snapshot"; "restored" ];
+      [ "serve"; "snapshot"; "written" ];
+    ];
+  (match
+     Option.bind (Registry.Json.member "serve" snap)
+       (Registry.Json.member "draining")
+   with
+  | Some (Registry.Json.Bool false) -> ()
+  | _ -> Alcotest.fail "stats: missing serve.draining bool");
+  match
+    Option.bind (Registry.Json.member "serve" snap) (fun s ->
+        Option.bind (Registry.Json.member "breaker" s)
+          (Registry.Json.member "keys"))
+  with
+  | Some (Registry.Json.Arr _) -> ()
+  | _ -> Alcotest.fail "stats: missing serve.breaker.keys array"
+
+(* Server-side batch fan-out: one Batch request spreads across the pool,
+   answers come back in input order, duplicates coalesce or hit the
+   cache — and a worker death takes down exactly its own job. *)
+let test_batch_fanout () =
+  let root = fresh_root () in
+  let srv = Serve.Server.create (default_config root "unused.sock") in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  let keys = [ key3; key2; key3 ] in
+  match
+    Serve.Server.handle srv
+      (Serve.Protocol.Batch (keys, Serve.Protocol.default_params))
+  with
+  | Serve.Protocol.Jobs served ->
+      check Alcotest.int "one answer per job" 3 (List.length served);
+      List.iter2
+        (fun k (s : Serve.Protocol.served) ->
+          check Alcotest.string "input order preserved"
+            (Registry.Key.canonical k) s.Serve.Protocol.canonical;
+          check Alcotest.bool
+            ("kernel for " ^ s.Serve.Protocol.canonical)
+            true
+            (s.Serve.Protocol.kernel <> None))
+        keys served;
+      let kernels3 =
+        List.filter_map
+          (fun (s : Serve.Protocol.served) ->
+            if s.Serve.Protocol.canonical = Registry.Key.canonical key3 then
+              s.Serve.Protocol.kernel
+            else None)
+          served
+      in
+      check Alcotest.int "duplicate jobs answered twice" 2
+        (List.length kernels3);
+      check Alcotest.bool "identical kernel for identical jobs" true
+        (List.length (List.sort_uniq compare kernels3) = 1)
+  | _ -> Alcotest.fail "expected a jobs response"
+
+let test_batch_fanout_isolates_worker_death () =
+  let root = fresh_root () in
+  let _ = make_entry root key2 in
+  install_plan "seed=4;serve.worker_death=nth:1";
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let srv =
+    Serve.Server.create { (default_config root "unused.sock") with workers = 1 }
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  (* key2 serves from disk (no pool job); key4 is the only search, and
+     its worker dies — the batch still answers both, in order. *)
+  match
+    Serve.Server.handle srv
+      (Serve.Protocol.Batch ([ key4; key2 ], Serve.Protocol.default_params))
+  with
+  | Serve.Protocol.Jobs [ s4; s2 ] ->
+      check Alcotest.string "poisoned job crashed" "crashed"
+        s4.Serve.Protocol.status;
+      check Alcotest.string "healthy job served" "cached"
+        s2.Serve.Protocol.status;
+      check Alcotest.string "from disk" "disk"
+        (Option.value ~default:"?" s2.Serve.Protocol.source)
+  | _ -> Alcotest.fail "expected two jobs back"
+
+(* ------------------------------------------------------------------ *)
 (* Socket layer: torn connection chaos.                                *)
 
 let with_running_server config f =
@@ -338,11 +874,9 @@ let with_running_server config f =
 let test_torn_connection_chaos () =
   let root = fresh_root () in
   let socket = Filename.concat (fresh_root ()) "synthd.sock" in
-  let config = { Serve.Server.socket_path = socket; root; capacity = 8; workers = 1 } in
+  let config = { (default_config root socket) with workers = 1 } in
   (* First response is torn mid-line; everything after flows normally. *)
-  (match Fault.plan_of_string "seed=11;serve.torn_connection=nth:1" with
-  | Ok plan -> Fault.install plan
-  | Error msg -> Alcotest.fail msg);
+  install_plan "seed=11;serve.torn_connection=nth:1";
   Fun.protect ~finally:Fault.disarm @@ fun () ->
   with_running_server config @@ fun srv ->
   (* The torn request: a synthesis whose response never fully arrives. *)
@@ -374,6 +908,26 @@ let test_torn_connection_chaos () =
   | Ok Serve.Protocol.Goodbye -> ()
   | Ok _ -> Alcotest.fail "unexpected shutdown response"
   | Error msg -> Alcotest.fail msg
+
+(* Connection admission: with a zero connection budget, every connection
+   gets one typed Overloaded line with a retry hint — never a silent
+   close, never a hang. *)
+let test_connection_budget_sheds () =
+  let root = fresh_root () in
+  let _ = make_entry root key2 in
+  let socket = Filename.concat (fresh_root ()) "synthd.sock" in
+  let config = { (default_config root socket) with max_conns = 0 } in
+  with_running_server config @@ fun srv ->
+  (match Serve.Client.roundtrip ~socket (Serve.Protocol.Lookup key2) with
+  | Ok (Serve.Protocol.Overloaded r) ->
+      check Alcotest.bool "retry hint" true (r > 0.)
+  | Ok _ -> Alcotest.fail "over-budget connection was not shed"
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.bool "shed counted" true
+    (serve_nested (Serve.Server.snapshot srv) [ "serve"; "shed"; "conn_budget" ]
+    >= 1);
+  (* Stop the daemon directly — a shed connection can't carry Shutdown. *)
+  Serve.Server.drain srv
 
 (* ------------------------------------------------------------------ *)
 (* Sharded store migration round-trip.                                 *)
@@ -438,6 +992,13 @@ let () =
             test_pool_runs_and_survives_exceptions;
           Alcotest.test_case "worker death isolated" `Quick
             test_pool_worker_death_isolated;
+          Alcotest.test_case "bounded queue" `Quick test_pool_bounded_queue;
+          Alcotest.test_case "queue stall sheds expired" `Quick
+            test_pool_queue_stall_sheds_expired;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
         ] );
       ( "server",
         [
@@ -445,10 +1006,34 @@ let () =
           Alcotest.test_case "coalescing" `Slow test_serve_coalescing;
           Alcotest.test_case "quarantine resynthesizes" `Quick
             test_serve_quarantine_resynthesizes;
+          Alcotest.test_case "overload site sheds" `Quick
+            test_overload_site_sheds;
+          Alcotest.test_case "deadline expired before dispatch" `Quick
+            test_deadline_expired_before_dispatch;
+          Alcotest.test_case "stats schema" `Quick test_stats_schema;
+          Alcotest.test_case "batch fan-out" `Slow test_batch_fanout;
+          Alcotest.test_case "batch fan-out isolates worker death" `Quick
+            test_batch_fanout_isolates_worker_death;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "persists and restores warm set" `Quick
+            test_drain_persists_and_restores;
+          Alcotest.test_case "tampered snapshot cold start" `Quick
+            test_tampered_snapshot_cold_start;
+          Alcotest.test_case "torn snapshot site" `Quick test_torn_snapshot_site;
+          Alcotest.test_case "snapshot cannot bypass certification" `Quick
+            test_snapshot_cannot_bypass_certification;
+          Alcotest.test_case "drain hang abandons stragglers" `Quick
+            test_drain_hang_abandons_stragglers;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "torn connection" `Slow test_torn_connection_chaos;
+          Alcotest.test_case "breaker trips and recovers" `Slow
+            test_breaker_trips_and_recovers;
+          Alcotest.test_case "connection budget sheds" `Slow
+            test_connection_budget_sheds;
         ] );
       ( "migrate",
         [ Alcotest.test_case "roundtrip" `Quick test_migrate_roundtrip ] );
