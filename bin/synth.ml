@@ -520,11 +520,16 @@ let run_batch_remote sock keys timeout retries backoff budget optimize
   (* Propagate an absolute deadline covering every attempt the server may
      make on our behalf, plus a second of queue/transport slack — so a
      request that would blow past our patience is shed in the server's
-     queue instead of burning a worker. *)
+     queue instead of burning a worker. The batch shares one deadline but
+     the server only fans out [workers + queue] jobs at a time, and we
+     don't know its width — so budget for the worst case, the whole batch
+     running serially. Tail jobs waiting their turn are still wanted;
+     the per-attempt timeout, not the batch deadline, bounds each job. *)
   let deadline =
     Option.map
       (fun t ->
-        Fault.Clock.now () +. (t *. float_of_int (1 + retries)) +. 1.0)
+        let jobs = float_of_int (max 1 (List.length keys)) in
+        Fault.Clock.now () +. (t *. float_of_int (1 + retries) *. jobs) +. 1.0)
       timeout
   in
   let params =

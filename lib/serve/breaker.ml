@@ -110,6 +110,22 @@ let failure t canonical =
       | Closed when e.failures >= t.threshold -> trip ()
       | Closed | Open -> ())
 
+(* The admitted request resolved without exercising the key: shed at
+   the queue, expired while queued, drained, or lost to an unrelated
+   error. If it was the half-open probe, the key must not stay
+   [Half_open] — admit rejects everyone while a probe is "in flight",
+   and with the probe gone nothing would ever resolve it — so return it
+   to [Open] with a fresh cooldown. Not a trip (the key didn't fail) and
+   not a recovery (it didn't succeed); the next cooldown admits a fresh
+   probe. Any other phase is untouched. *)
+let abort t canonical =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table canonical with
+      | Some ({ phase = Half_open; _ } as e) ->
+          e.phase <- Open;
+          e.opened_until <- Fault.Clock.now () +. t.cooldown
+      | Some _ | None -> ())
+
 type counters = {
   trips : int;
   half_opens : int;

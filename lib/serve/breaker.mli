@@ -41,6 +41,15 @@ val failure : t -> string -> unit
 (** One poison outcome (worker death, crash, exhaustion). Trips the key
     at the threshold; a half-open probe failure re-trips immediately. *)
 
+val abort : t -> string -> unit
+(** The admitted request resolved without exercising the key — shed at
+    the queue, expired while queued, drained, or lost to an unrelated
+    error. If it was the half-open probe, the key returns to [Open] with
+    a fresh cooldown (neither a trip nor a recovery) so a later request
+    can probe again; in any other phase this is a no-op. Every leader
+    exit must call exactly one of {!success}, {!failure}, or {!abort},
+    or a [Half_open] key would reject all comers forever. *)
+
 type counters = {
   trips : int;
   half_opens : int;

@@ -49,7 +49,9 @@ type t = {
   nonempty : Condition.t;
   queue : job Queue.t;
   mutable stop : bool;
-  mutable draining : bool;
+  (* Atomic, not mutex-guarded: read at claim time on worker domains
+     without taking t.mutex. *)
+  draining : bool Atomic.t;
   mutable handles : unit Domain.t list;
   mutable queue_hwm : int;
   workers : int;
@@ -81,7 +83,7 @@ let create ?(max_queue = max_int) ~workers () =
       nonempty = Condition.create ();
       queue = Queue.create ();
       stop = false;
-      draining = false;
+      draining = Atomic.make false;
       handles = [];
       queue_hwm = 0;
       workers;
@@ -123,7 +125,7 @@ let run ?deadline t f =
        worker anything. *)
     if Fault.fire Fault.Serve_queue_stall then Fault.Clock.warp queue_stall_warp;
     let outcome =
-      if t.draining then Error Drained
+      if Atomic.get t.draining then Error Drained
       else
         match deadline with
         | Some d when Fault.Clock.now () > d -> Error Expired_in_queue
@@ -142,7 +144,7 @@ let run ?deadline t f =
     Mutex.unlock t.mutex;
     Error Pool_stopped
   end
-  else if t.draining then begin
+  else if Atomic.get t.draining then begin
     Mutex.unlock t.mutex;
     Error Drained
   end
@@ -168,14 +170,14 @@ let run ?deadline t f =
    Completing the backlog here, on the draining thread, means waiters
    unblock immediately even when every worker is mid-search. *)
 let drain t =
+  Atomic.set t.draining true;
   Mutex.lock t.mutex;
-  t.draining <- true;
   let backlog = Queue.fold (fun acc j -> j :: acc) [] t.queue in
   Queue.clear t.queue;
   Mutex.unlock t.mutex;
   List.iter (fun j -> j.abort Drained) backlog
 
-let draining t = t.draining
+let draining t = Atomic.get t.draining
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -269,7 +269,11 @@ let lookup_one t key =
 
 (* The leader's path: disk, then a pool search, then persist + admit.
    Breaker bookkeeping happens here, on the leader only — joiners share
-   the outcome without double-counting it. *)
+   the outcome without double-counting it. Every exit settles the
+   breaker exactly once: success on a hit or clean result, failure on a
+   poison outcome, and abort on everything else (shed, expired, drained,
+   unrelated error) — an admitted half-open probe that vanished without
+   a verdict would otherwise leave the key rejecting forever. *)
 let synth_leader t key (p : Protocol.synth_params) =
   let start = Fault.Clock.now () in
   let canonical = Key.canonical key in
@@ -277,6 +281,7 @@ let synth_leader t key (p : Protocol.synth_params) =
      were full — the chaos hook for exercising shed paths end to end. *)
   if Fault.fire Fault.Serve_overload then begin
     Atomic.incr t.shed_queue_full;
+    Breaker.abort t.breaker canonical;
     overloaded
       ~elapsed:(Fault.Clock.now () -. start)
       ~retry_after:0.1 ~error:"request queue full (injected)" key
@@ -330,20 +335,24 @@ let synth_leader t key (p : Protocol.synth_params) =
             }
         | Error Pool.Queue_full ->
             Atomic.incr t.shed_queue_full;
+            Breaker.abort t.breaker canonical;
             overloaded
               ~elapsed:(Fault.Clock.now () -. start)
               ~retry_after:0.1 ~error:"request queue full" key
         | Error Pool.Expired_in_queue ->
             Atomic.incr t.shed_deadline;
+            Breaker.abort t.breaker canonical;
             deadline_expired
               ~elapsed:(Fault.Clock.now () -. start)
               ~where:"while queued" key
         | Error Pool.Drained ->
             Atomic.incr t.shed_draining;
+            Breaker.abort t.breaker canonical;
             overloaded
               ~elapsed:(Fault.Clock.now () -. start)
               ~retry_after:1.0 ~error:"server is draining" key
         | Error e ->
+            Breaker.abort t.breaker canonical;
             {
               (miss ~elapsed:(Fault.Clock.now () -. start) ~error:(Printexc.to_string e) key)
               with
@@ -439,6 +448,10 @@ let synth_one t key p =
             let served =
               try synth_leader t key p
               with e ->
+                (* The leader died without a verdict; if it was the
+                   half-open probe, release the key (no-op when the
+                   breaker was already settled before the raise). *)
+                Breaker.abort t.breaker canonical;
                 {
                   (miss ~elapsed:0. ~error:(Printexc.to_string e) key) with
                   Protocol.status = "failed";

@@ -374,6 +374,41 @@ let test_breaker_state_machine () =
   check Alcotest.int "recoveries" 1 c.Serve.Breaker.recoveries;
   check Alcotest.int "rejections" 3 c.Serve.Breaker.rejections
 
+(* Regression: a half-open probe that exits without a verdict — shed at
+   the queue, expired while queued, drained, or lost to an unrelated
+   error — must not leave the key Half_open forever. [abort] returns it
+   to Open with a fresh cooldown, after which a new probe is admitted. *)
+let test_breaker_abort_releases_probe () =
+  let b = Serve.Breaker.create ~threshold:1 ~cooldown:10.0 in
+  let k = "n=5" in
+  Serve.Breaker.failure b k;
+  Fault.Clock.warp 11.0;
+  (match Serve.Breaker.admit b k with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "no half-open probe");
+  (* The probe vanishes without success or failure. *)
+  Serve.Breaker.abort b k;
+  check
+    Alcotest.(list (triple string string int))
+    "aborted probe back to open"
+    [ (k, "open", 1) ]
+    (Serve.Breaker.tracked b);
+  (* Gated through the fresh cooldown... *)
+  (match Serve.Breaker.admit b k with
+  | Serve.Breaker.Reject _ -> ()
+  | Serve.Breaker.Allow -> Alcotest.fail "aborted probe skipped cooldown");
+  (* ...then a fresh probe, which can still recover the key. *)
+  Fault.Clock.warp 11.0;
+  (match Serve.Breaker.admit b k with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "no fresh probe after abort");
+  Serve.Breaker.success b k;
+  (* Abort on a settled (untracked) key is a no-op. *)
+  Serve.Breaker.abort b k;
+  match Serve.Breaker.admit b k with
+  | Serve.Breaker.Allow -> ()
+  | Serve.Breaker.Reject _ -> Alcotest.fail "abort gated a recovered key"
+
 (* ------------------------------------------------------------------ *)
 (* Server: serving layers and coalescing.                              *)
 
@@ -589,6 +624,50 @@ let test_breaker_trips_and_recovers () =
     (serve_nested snap [ "serve"; "breaker"; "half_opens" ]);
   check Alcotest.int "recovery counted" 1
     (serve_nested snap [ "serve"; "breaker"; "recoveries" ])
+
+(* Regression: the half-open probe shed at admission (here via the
+   serve.overload site, the same path as a full queue) must release the
+   key back to Open — not leave it Half_open, where every later request
+   would fast-fail with circuit_open until restart. After another
+   cooldown a fresh probe runs and recovers the key. *)
+let test_breaker_probe_shed_then_recovers () =
+  let root = fresh_root () in
+  let srv =
+    Serve.Server.create
+      {
+        (default_config root "unused.sock") with
+        workers = 1;
+        breaker_threshold = 1;
+        breaker_cooldown = 5.0;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.destroy srv) @@ fun () ->
+  (* Trip the key open with one poison outcome. *)
+  install_plan "seed=5;serve.worker_death=always";
+  (Fun.protect ~finally:Fault.disarm @@ fun () ->
+   let s = served_exn (Serve.Server.handle srv (synth_req key3)) in
+   check Alcotest.string "poison outcome" "crashed" s.Serve.Protocol.status);
+  (* Cooldown over: the admitted half-open probe is shed by overload
+     before it reaches a worker. *)
+  Fault.Clock.warp 6.0;
+  install_plan "seed=5;serve.overload=always";
+  (Fun.protect ~finally:Fault.disarm @@ fun () ->
+   let s = served_exn (Serve.Server.handle srv (synth_req key3)) in
+   check Alcotest.string "probe shed as overloaded" "overloaded"
+     s.Serve.Protocol.status);
+  (* Not wedged: during the fresh cooldown the key fast-fails as
+     circuit_open (not a stuck Half_open rejecting forever)... *)
+  let s = served_exn (Serve.Server.handle srv (synth_req key3)) in
+  check Alcotest.string "open again during cooldown" "circuit_open"
+    s.Serve.Protocol.status;
+  (* ...and after it elapses a fresh probe synthesizes and recovers. *)
+  Fault.Clock.warp 6.0;
+  let s = served_exn (Serve.Server.handle srv (synth_req key3)) in
+  check Alcotest.string "fresh probe recovers" "synthesized"
+    s.Serve.Protocol.status;
+  check Alcotest.int "recovery counted" 1
+    (serve_nested (Serve.Server.snapshot srv)
+       [ "serve"; "breaker"; "recoveries" ])
 
 (* ------------------------------------------------------------------ *)
 (* Drain and the warm-set snapshot.                                    *)
@@ -999,6 +1078,8 @@ let () =
       ( "breaker",
         [
           Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "abort releases probe" `Quick
+            test_breaker_abort_releases_probe;
         ] );
       ( "server",
         [
@@ -1032,6 +1113,8 @@ let () =
           Alcotest.test_case "torn connection" `Slow test_torn_connection_chaos;
           Alcotest.test_case "breaker trips and recovers" `Slow
             test_breaker_trips_and_recovers;
+          Alcotest.test_case "shed probe recovers" `Slow
+            test_breaker_probe_shed_then_recovers;
           Alcotest.test_case "connection budget sheds" `Slow
             test_connection_budget_sheds;
         ] );
