@@ -1140,6 +1140,114 @@ let analyze_cmd =
     Term.(ret (const run_analyze $ file_arg $ opt_n $ opt_m $ json_flag))
 
 (* ------------------------------------------------------------------ *)
+(* devlint: the self-hosted concurrency-and-discipline linter over this
+   repository's own OCaml source (lib/ + bin/), on compiler-libs. The
+   committed devlint.waivers file is the only silencing mechanism;
+   unwaived findings (or parse errors) exit 1, which is the CI gate.   *)
+
+let run_devlint paths json rules waivers_path =
+  if rules then begin
+    if json then begin
+      let parts =
+        List.map
+          (fun r ->
+            Registry.Json.to_string
+              (Registry.Json.Obj
+                 [
+                   ("id", Registry.Json.Str (Devlint.Rule.id r));
+                   ("title", Registry.Json.Str (Devlint.Rule.title r));
+                   ("description", Registry.Json.Str (Devlint.Rule.describe r));
+                   ("hint", Registry.Json.Str (Devlint.Rule.hint r));
+                 ]))
+          Devlint.Rule.all
+      in
+      print_endline ("[" ^ String.concat "," parts ^ "]")
+    end
+    else
+      List.iter
+        (fun r ->
+          Printf.printf "%-7s %-22s %s\n" (Devlint.Rule.id r)
+            (Devlint.Rule.title r) (Devlint.Rule.describe r))
+        Devlint.Rule.all;
+    `Ok ()
+  end
+  else
+    match Devlint.Waivers.load waivers_path with
+    | Error e -> `Error (false, e)
+    | Ok waivers ->
+        let files = Devlint.Lint.files_under paths in
+        let errors = ref [] in
+        let findings = ref [] in
+        List.iter
+          (fun f ->
+            match Devlint.Lint.check_file f with
+            | Error e -> errors := (f, e) :: !errors
+            | Ok fs -> findings := fs :: !findings)
+          files;
+        let all =
+          List.sort Devlint.Lint.compare_finding
+            (List.concat (List.rev !findings))
+        in
+        let unwaived, waived, unused = Devlint.Waivers.split waivers all in
+        let run =
+          {
+            Devlint.Report.unwaived;
+            waived;
+            unused;
+            errors = List.rev !errors;
+            files_scanned = List.length files;
+          }
+        in
+        print_string
+          (if json then Devlint.Report.json run ^ "\n"
+           else Devlint.Report.text run);
+        if Devlint.Report.exit_code run <> 0 then exit 1;
+        `Ok ()
+
+let devlint_paths =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin" ]
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to scan ($(b,.ml) files, recursively; \
+           default: $(b,lib bin)).")
+
+let devlint_waivers_arg =
+  Arg.(
+    value
+    & opt string "devlint.waivers"
+    & info [ "waivers" ] ~docv:"FILE"
+        ~doc:
+          "Waiver file: one $(b,'DLxxx path justification') per line, \
+           justification mandatory. The only way to silence a finding.")
+
+let devlint_rules_flag =
+  Arg.(
+    value & flag
+    & info [ "rules" ]
+        ~doc:
+          "Print the stable devlint rule table (id, title, one-line \
+           description) and exit; nothing is scanned.")
+
+let devlint_cmd =
+  Cmd.v
+    (Cmd.info "devlint"
+       ~doc:
+         "Lint this repository's own source for Domain-parallel and \
+          durability discipline: mutable state shared into Domain.spawn \
+          without Atomic/Mutex, raw wall-clock reads and unwarped sleeps \
+          outside lib/fault, Sys.rename without fsync, double-closed \
+          descriptors, and catch-all exception swallows in daemon paths. \
+          Findings are silenced only via the committed waiver file; any \
+          unwaived finding exits 1. With $(b,--rules), prints the stable \
+          rule-id table instead.")
+    Term.(
+      ret
+        (const run_devlint $ devlint_paths $ json_flag $ devlint_rules_flag
+        $ devlint_waivers_arg))
+
+(* ------------------------------------------------------------------ *)
 (* certify: the symbolic sortedness certifier, exact fallback on
    Unknown — the CLI face of [Registry.Verify.certify_fast].           *)
 
@@ -1999,6 +2107,7 @@ let cmd =
       client_cmd;
       lint_cmd;
       analyze_cmd;
+      devlint_cmd;
       certify_cmd;
       optimize_cmd;
       equiv_cmd;

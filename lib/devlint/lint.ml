@@ -1,0 +1,473 @@
+open Parsetree
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type finding = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_finding a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = compare (Rule.id a.rule) (Rule.id b.rule) in
+        if c <> 0 then c else compare a.message b.message
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers.                                                  *)
+
+let flat lid = String.concat "." (Longident.flatten lid)
+
+let ident_flat e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (flat txt)
+  | _ -> None
+
+let contains_sub s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis state.                                            *)
+
+(* DL004/DL005 work per lexically-enclosing *named function*: a scope is
+   pushed for every [let f = fun ...] (at any depth); anonymous closures
+   accumulate into the scope that contains them, which matches how
+   "the enclosing function" reads in a review. *)
+type scope = {
+  sc_name : string;
+  mutable sc_fsync : bool;  (* an fsync-ish identifier was mentioned *)
+  mutable sc_chans : (string * string) list;  (* channel ident -> fd ident *)
+  mutable sc_closes : (string * Location.t * string) list;
+      (* (fd ident, close site, what was closed) in traversal order *)
+}
+
+type ctx = {
+  path : string;
+  mutable findings : finding list;
+  mutable mutable_fields : SSet.t;
+  mutable bindings : expression list SMap.t;  (* name -> every RHS *)
+  mutable seeds : expression list;  (* arguments of Domain.spawn *)
+  mutable renames : (Location.t * scope list) list;
+      (* rename site, enclosing-scope stack at that point *)
+  mutable scopes : scope list;  (* innermost first *)
+}
+
+let emit ctx rule loc message =
+  if Rule.applies_to rule ~path:ctx.path then begin
+    let line, col = pos_of loc in
+    ctx.findings <-
+      { rule; file = ctx.path; line; col; message } :: ctx.findings
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phase A: one pass that collects facts and settles the simple rules. *)
+
+let is_function e =
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> true
+    | Pexp_newtype (_, e) -> go e
+    | _ -> false
+  in
+  go e
+
+let unit_body e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) -> true
+  | _ -> false
+
+let chan_derivation e =
+  match e.pexp_desc with
+  | Pexp_apply (f, [ (_, arg) ]) -> (
+      match (ident_flat f, arg.pexp_desc) with
+      | ( Some ("Unix.in_channel_of_descr" | "Unix.out_channel_of_descr"),
+          Pexp_ident { txt = Longident.Lident fd; _ } ) ->
+          Some fd
+      | _ -> None)
+  | _ -> None
+
+let close_fns =
+  [ "close_in"; "close_in_noerr"; "close_out"; "close_out_noerr" ]
+
+(* Find the innermost scope that knows [chan] as a derived channel. *)
+let scope_of_chan ctx chan =
+  List.find_opt (fun sc -> List.mem_assoc chan sc.sc_chans) ctx.scopes
+
+let record_close sc fd loc what =
+  sc.sc_closes <- sc.sc_closes @ [ (fd, loc, what) ]
+
+let finalize_scope ctx sc =
+  (* DL005: more than one close reaching the same fd. *)
+  let by_fd = Hashtbl.create 4 in
+  List.iter
+    (fun (fd, loc, what) ->
+      let prev = try Hashtbl.find by_fd fd with Not_found -> [] in
+      Hashtbl.replace by_fd fd (prev @ [ (loc, what) ]))
+    sc.sc_closes;
+  Hashtbl.fold (fun fd closes acc -> (fd, closes) :: acc) by_fd []
+  |> List.sort compare
+  |> List.iter (fun (fd, closes) ->
+         match closes with
+         | _first :: ((loc, what) :: _ as rest) ->
+             emit ctx Rule.Double_close loc
+               (Printf.sprintf
+                  "%s reaches fd %s already closed above in %s (%d closes \
+                   of one descriptor)"
+                  what fd sc.sc_name
+                  (1 + List.length rest))
+         | _ -> ())
+
+let phase_a ctx structure =
+  let super = Ast_iterator.default_iterator in
+  let type_declaration it (td : type_declaration) =
+    (match td.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun (ld : label_declaration) ->
+            match ld.pld_mutable with
+            | Asttypes.Mutable ->
+                ctx.mutable_fields <-
+                  SSet.add ld.pld_name.txt ctx.mutable_fields
+            | Asttypes.Immutable -> ())
+          labels
+    | _ -> ());
+    super.type_declaration it td
+  in
+  let value_binding it (vb : value_binding) =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = name; _ } ->
+        ctx.bindings <-
+          SMap.update name
+            (fun prev -> Some (vb.pvb_expr :: Option.value prev ~default:[]))
+            ctx.bindings;
+        (match (chan_derivation vb.pvb_expr, ctx.scopes) with
+        | Some fd, sc :: _ -> sc.sc_chans <- (name, fd) :: sc.sc_chans
+        | _ -> ());
+        if is_function vb.pvb_expr then begin
+          let sc =
+            { sc_name = name; sc_fsync = false; sc_chans = []; sc_closes = [] }
+          in
+          ctx.scopes <- sc :: ctx.scopes;
+          super.value_binding it vb;
+          ctx.scopes <- List.tl ctx.scopes;
+          finalize_scope ctx sc
+        end
+        else super.value_binding it vb
+    | _ -> super.value_binding it vb
+  in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match flat txt with
+        | "Unix.gettimeofday" ->
+            emit ctx Rule.Raw_wall_clock loc
+              "Unix.gettimeofday is the steppable wall clock"
+        | ("Unix.sleep" | "Unix.sleepf") as s ->
+            emit ctx Rule.Unwarped_sleep loc
+              (Printf.sprintf "%s ignores Fault.Clock warps" s)
+        | "Sys.rename" | "Unix.rename" ->
+            ctx.renames <- (loc, ctx.scopes) :: ctx.renames
+        | _ when contains_sub (Longident.last txt) "fsync" ->
+            List.iter (fun sc -> sc.sc_fsync <- true) ctx.scopes
+        | _ -> ())
+    | Pexp_apply (f, args) -> (
+        match ident_flat f with
+        | Some "Domain.spawn" -> ctx.seeds <- List.map snd args @ ctx.seeds
+        | Some "Unix.close" -> (
+            match args with
+            | [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident fd; _ }; _ }) ] -> (
+                match
+                  List.find_opt
+                    (fun sc ->
+                      List.exists (fun (_, f') -> f' = fd) sc.sc_chans)
+                    ctx.scopes
+                with
+                | Some sc -> record_close sc fd e.pexp_loc ("Unix.close " ^ fd)
+                | None -> ())
+            | _ -> ())
+        | Some fn when List.mem fn close_fns -> (
+            match args with
+            | ( _,
+                { pexp_desc = Pexp_ident { txt = Longident.Lident c; _ }; _ } )
+              :: _ -> (
+                match scope_of_chan ctx c with
+                | Some sc ->
+                    record_close sc
+                      (List.assoc c sc.sc_chans)
+                      e.pexp_loc
+                      (Printf.sprintf "%s %s" fn c)
+                | None -> ())
+            | _ -> ())
+        | _ -> ())
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun (c : case) ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None when unit_body c.pc_rhs ->
+                emit ctx Rule.Catch_all_swallow c.pc_lhs.ppat_loc
+                  "handler swallows every exception and returns ()"
+            | _ -> ())
+          cases
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with type_declaration; value_binding; expr } in
+  it.structure it structure;
+  (* DL004: a recorded rename whose enclosing named functions never
+     mention an fsync. The check runs after the whole file so an fsync
+     *later* in the same function still counts. *)
+  List.iter
+    (fun (loc, scopes) ->
+      if not (List.exists (fun sc -> sc.sc_fsync) scopes) then
+        let where =
+          match scopes with
+          | sc :: _ -> Printf.sprintf " in %s" sc.sc_name
+          | [] -> ""
+        in
+        emit ctx Rule.Rename_without_fsync loc
+          (Printf.sprintf
+             "rename publishes%s with no fsync anywhere in the enclosing \
+              function"
+             where))
+    ctx.renames
+
+(* ------------------------------------------------------------------ *)
+(* Phase B: DL001 — mutable state on Domain.spawn-reachable paths.
+
+   Reachability is per-file: the closures handed to [Domain.spawn] seed
+   a worklist, and any let-bound name referenced from reachable code
+   pulls that binding's body in (locals shadowing top-level names
+   over-approximate harmlessly). Inside reachable code we flag
+   [Pexp_setfield], reads of record fields declared [mutable] in this
+   file, and [:=]/[!]/[incr]/[decr] on refs — unless the access sits in
+   a lock region ([Mutex.lock] earlier in the same sequence, or inside a
+   [locked ...]/[Mutex.protect] closure) or touches state created
+   locally ([let x = ref ...] / a fresh record literal) inside the
+   spawned world. [Atomic] never trips the rule: its operations are
+   plain function applications. Arrays are out of scope — [a.(i) <- x]
+   parses as [Array.set] — as is cross-module state. *)
+
+let collect_idents e =
+  let acc = ref SSet.empty in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> acc := SSet.add n !acc
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !acc
+
+(* Names bound anywhere inside [e] — let bindings, parameters, match
+   patterns. References to these resolve lexically and were scanned
+   inline with their real scope, so the worklist must not re-pull a
+   same-named binding from elsewhere in the file. *)
+let collect_bound_names e =
+  let acc = ref SSet.empty in
+  let super = Ast_iterator.default_iterator in
+  let pat it p =
+    (match p.ppat_desc with
+    | Ppat_var { txt; _ } -> acc := SSet.add txt !acc
+    | _ -> ());
+    super.pat it p
+  in
+  let it = { super with pat } in
+  it.expr it e;
+  !acc
+
+let is_fresh_mutable e =
+  match e.pexp_desc with
+  | Pexp_record _ -> true
+  | Pexp_apply (f, _) -> ident_flat f = Some "ref"
+  | _ -> false
+
+let is_mutex_lock e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> ident_flat f = Some "Mutex.lock"
+  | _ -> false
+
+let is_lock_combinator f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      flat txt = "Mutex.protect" || Longident.last txt = "locked"
+  | _ -> false
+
+let scan_dl001 ctx body =
+  let locals = ref SSet.empty in
+  let in_lock = ref false in
+  let super = Ast_iterator.default_iterator in
+  let flag loc msg = emit ctx Rule.Domain_shared_mutable loc msg in
+  let base_is_local e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> SSet.mem n !locals
+    | _ -> false
+  in
+  let expr it e =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, rest) ->
+        List.iter (fun vb -> it.Ast_iterator.expr it vb.pvb_expr) vbs;
+        let saved = !locals in
+        List.iter
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } when is_fresh_mutable vb.pvb_expr ->
+                locals := SSet.add txt !locals
+            | _ -> ())
+          vbs;
+        it.Ast_iterator.expr it rest;
+        locals := saved
+    | Pexp_sequence (e1, e2) when is_mutex_lock e1 ->
+        it.Ast_iterator.expr it e1;
+        let saved = !in_lock in
+        in_lock := true;
+        it.Ast_iterator.expr it e2;
+        in_lock := saved
+    | Pexp_apply (f, args) when is_lock_combinator f ->
+        it.Ast_iterator.expr it f;
+        let saved = !in_lock in
+        in_lock := true;
+        List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args;
+        in_lock := saved
+    | Pexp_setfield (base, fld, _) ->
+        if (not !in_lock) && not (base_is_local base) then
+          flag e.pexp_loc
+            (Printf.sprintf
+               "mutable field %s written on a Domain-reachable path without \
+                Atomic or a held Mutex"
+               (Longident.last fld.txt));
+        super.expr it e
+    | Pexp_field (base, fld)
+      when SSet.mem (Longident.last fld.txt) ctx.mutable_fields ->
+        if (not !in_lock) && not (base_is_local base) then
+          flag e.pexp_loc
+            (Printf.sprintf
+               "mutable field %s read on a Domain-reachable path without \
+                Atomic or a held Mutex"
+               (Longident.last fld.txt));
+        super.expr it e
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ },
+          (_, arg) :: _ )
+      when op = ":=" || op = "!" || op = "incr" || op = "decr" -> (
+        (match arg.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident r; _ }
+          when (not !in_lock) && not (SSet.mem r !locals) ->
+            flag e.pexp_loc
+              (Printf.sprintf
+                 "ref %s %s on a Domain-reachable path without Atomic or a \
+                  held Mutex"
+                 r
+                 (if op = "!" then "read" else "mutated"))
+        | _ -> ());
+        super.expr it e)
+    | _ -> super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it body
+
+let phase_b ctx =
+  if ctx.seeds <> [] then begin
+    let visited = ref SSet.empty in
+    let queue = Queue.create () in
+    (* Only function-valued bindings travel on the worklist: a
+       non-function [let x = e] runs [e] at definition time on the
+       spawning domain, so a reference to [x] from spawned code is a
+       read of the computed value, not a call into [e]. Names bound
+       inside the scanned body are excluded too — those were scanned
+       inline with their real (lock/locals) scope, and pulling in a
+       same-named binding from another function invents reachability. *)
+    let enqueue_names names =
+      SSet.iter
+        (fun n ->
+          if (not (SSet.mem n !visited)) && SMap.mem n ctx.bindings then begin
+            visited := SSet.add n !visited;
+            List.iter
+              (fun b -> if is_function b then Queue.push b queue)
+              (SMap.find n ctx.bindings)
+          end)
+        names
+    in
+    List.iter (fun seed -> Queue.push seed queue) ctx.seeds;
+    while not (Queue.is_empty queue) do
+      let body = Queue.pop queue in
+      scan_dl001 ctx body;
+      enqueue_names
+        (SSet.diff (collect_idents body) (collect_bound_names body))
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let check_source ~path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | exception e ->
+      let msg =
+        match Location.error_of_exn e with
+        | Some (`Ok report) ->
+            String.trim (Format.asprintf "%a" Location.print_report report)
+        | _ -> Printexc.to_string e
+      in
+      Error (Printf.sprintf "%s: parse error: %s" path msg)
+  | structure ->
+      let ctx =
+        {
+          path;
+          findings = [];
+          mutable_fields = SSet.empty;
+          bindings = SMap.empty;
+          seeds = [];
+          renames = [];
+          scopes = [];
+        }
+      in
+      phase_a ctx structure;
+      phase_b ctx;
+      Ok (List.sort_uniq compare_finding ctx.findings)
+
+let check_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error (Printf.sprintf "%s: %s" path m)
+  | src -> check_source ~path src
+
+let rec files_under roots =
+  List.concat_map
+    (fun root ->
+      match Sys.is_directory root with
+      | exception Sys_error _ -> []
+      | true ->
+          Sys.readdir root |> Array.to_list
+          |> List.filter (fun name ->
+                 String.length name > 0 && name.[0] <> '.' && name <> "_build")
+          |> List.sort compare
+          |> List.map (Filename.concat root)
+          |> files_under
+      | false -> if Filename.check_suffix root ".ml" then [ root ] else [])
+    roots
+  |> List.sort compare

@@ -1,0 +1,37 @@
+(** The devlint analysis: parse one [.ml] file with the compiler's own
+    parser ([compiler-libs]) and walk the Parsetree with per-rule
+    visitors.
+
+    The analysis is deliberately syntactic — no typing pass — so every
+    rule is an approximation with its shape documented in DESIGN.md
+    §4l: DL001 reasons about code {e reachable within the same file}
+    from a [Domain.spawn] closure and suppresses accesses under a held
+    mutex ([Mutex.lock] sequencing, a [locked]/[Mutex.protect]
+    combinator) or on freshly-created locals; DL004 looks for an fsync
+    mention in the lexically enclosing named function; DL005 tracks
+    channels derived from an fd within one named function. False
+    positives are silenced only through the committed waiver file, which
+    demands a written justification per (rule, path). *)
+
+type finding = {
+  rule : Rule.t;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports columns *)
+  message : string;  (** site-specific: what was seen, not the fix *)
+}
+
+val compare_finding : finding -> finding -> int
+(** Byte-stable report order: file, line, col, rule id, message. *)
+
+val check_source : path:string -> string -> (finding list, string) result
+(** Lint one implementation given as source text; [path] scopes the
+    path-sensitive rules and labels the findings. [Error] on a file the
+    compiler's parser rejects. Findings come back sorted and deduped. *)
+
+val check_file : string -> (finding list, string) result
+
+val files_under : string list -> string list
+(** Every [.ml] file under the given roots (files are taken as given,
+    directories walked recursively, [_build] and dot-directories
+    skipped), sorted for deterministic scan order. *)

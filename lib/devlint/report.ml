@@ -1,0 +1,104 @@
+type run = {
+  unwaived : Lint.finding list;
+  waived : (Lint.finding * Waivers.t) list;
+  unused : Waivers.t list;
+  errors : (string * string) list;
+  files_scanned : int;
+}
+
+let finding_line (f : Lint.finding) =
+  Printf.sprintf "%s:%d:%d: %s[%s] %s; fix: %s" f.file f.line f.col
+    (Rule.id f.rule) (Rule.title f.rule) f.message (Rule.hint f.rule)
+
+let text run =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter (fun (path, err) -> line "%s: error: %s" path err) run.errors;
+  List.iter (fun f -> line "%s" (finding_line f)) run.unwaived;
+  if run.waived <> [] then begin
+    line "waived:";
+    List.iter
+      (fun ((f : Lint.finding), (w : Waivers.t)) ->
+        line "  %s:%d: %s — %s" f.file f.line (Rule.id f.rule)
+          w.justification)
+      run.waived
+  end;
+  if run.unused <> [] then begin
+    line "stale waivers (cover no finding — remove them):";
+    List.iter
+      (fun (w : Waivers.t) -> line "  %s %s" (Rule.id w.rule) w.path)
+      run.unused
+  end;
+  line "devlint: %d file%s scanned, %d finding%s (%d waived)%s"
+    run.files_scanned
+    (if run.files_scanned = 1 then "" else "s")
+    (List.length run.unwaived)
+    (if List.length run.unwaived = 1 then "" else "s")
+    (List.length run.waived)
+    (if run.errors = [] then "" else Printf.sprintf ", %d error%s"
+       (List.length run.errors)
+       (if List.length run.errors = 1 then "" else "s"));
+  Buffer.contents b
+
+(* Minimal JSON string escaping: the fields we emit are paths, rule
+   metadata, and justifications — control characters, quotes, and
+   backslashes are all that needs care. *)
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jfinding (f : Lint.finding) extra =
+  Printf.sprintf
+    "{\"file\":%s,\"line\":%d,\"col\":%d,\"rule\":%s,\"title\":%s,\"message\":%s,\"hint\":%s%s}"
+    (jstr f.file) f.line f.col
+    (jstr (Rule.id f.rule))
+    (jstr (Rule.title f.rule))
+    (jstr f.message)
+    (jstr (Rule.hint f.rule))
+    extra
+
+let jlist xs = "[" ^ String.concat "," xs ^ "]"
+
+let json run =
+  let unwaived = List.map (fun f -> jfinding f "") run.unwaived in
+  let waived =
+    List.map
+      (fun (f, (w : Waivers.t)) ->
+        jfinding f
+          (Printf.sprintf ",\"waived_by\":%s" (jstr w.justification)))
+      run.waived
+  in
+  let unused =
+    List.map
+      (fun (w : Waivers.t) ->
+        Printf.sprintf "{\"rule\":%s,\"path\":%s}" (jstr (Rule.id w.rule))
+          (jstr w.path))
+      run.unused
+  in
+  let errors =
+    List.map
+      (fun (path, err) ->
+        Printf.sprintf "{\"file\":%s,\"error\":%s}" (jstr path) (jstr err))
+      run.errors
+  in
+  Printf.sprintf
+    "{\"files_scanned\":%d,\"findings\":%s,\"waived\":%s,\"stale_waivers\":%s,\"errors\":%s,\"ok\":%b}"
+    run.files_scanned (jlist unwaived) (jlist waived) (jlist unused)
+    (jlist errors)
+    (run.unwaived = [] && run.errors = [])
+
+let exit_code run = if run.unwaived = [] && run.errors = [] then 0 else 1

@@ -1,0 +1,99 @@
+type t =
+  | Domain_shared_mutable
+  | Raw_wall_clock
+  | Unwarped_sleep
+  | Rename_without_fsync
+  | Double_close
+  | Catch_all_swallow
+
+let all =
+  [
+    Domain_shared_mutable;
+    Raw_wall_clock;
+    Unwarped_sleep;
+    Rename_without_fsync;
+    Double_close;
+    Catch_all_swallow;
+  ]
+
+let id = function
+  | Domain_shared_mutable -> "DL001"
+  | Raw_wall_clock -> "DL002"
+  | Unwarped_sleep -> "DL003"
+  | Rename_without_fsync -> "DL004"
+  | Double_close -> "DL005"
+  | Catch_all_swallow -> "DL006"
+
+let title = function
+  | Domain_shared_mutable -> "domain-shared-mutable"
+  | Raw_wall_clock -> "raw-wall-clock"
+  | Unwarped_sleep -> "unwarped-sleep"
+  | Rename_without_fsync -> "rename-without-fsync"
+  | Double_close -> "double-close"
+  | Catch_all_swallow -> "catch-all-swallow"
+
+let describe = function
+  | Domain_shared_mutable ->
+      "ref or mutable field touched on a Domain.spawn-reachable path \
+       without Atomic or a held Mutex"
+  | Raw_wall_clock -> "Unix.gettimeofday outside lib/fault"
+  | Unwarped_sleep -> "Unix.sleep or Unix.sleepf outside lib/fault"
+  | Rename_without_fsync ->
+      "Sys.rename with no fsync in the enclosing function"
+  | Double_close ->
+      "an fd and a channel derived from it (or both channels) closed"
+  | Catch_all_swallow -> "try ... with _ -> () in daemon/registry paths"
+
+let hint = function
+  | Domain_shared_mutable ->
+      "make the shared state an Atomic.t, or take the owning Mutex \
+       around the access (the Pool.draining fix)"
+  | Raw_wall_clock ->
+      "use Fault.Clock.now: the wall clock can step backwards and breaks \
+       warp-driven tests"
+  | Unwarped_sleep ->
+      "use Fault.Clock.sleep_for, which re-reads the warped clock so \
+       tests drive time with clock.warp instead of sleeping"
+  | Rename_without_fsync ->
+      "fsync the payload and the directory before/after the publishing \
+       rename, or a crash can tear the entry"
+  | Double_close ->
+      "close exactly one of the channels sharing the descriptor and \
+       leave the rest to the GC (the fd number may already be reused)"
+  | Catch_all_swallow ->
+      "match the exceptions the operation can actually raise; a blind \
+       swallow turns real failures into silent drops"
+
+let of_id s =
+  match List.find_opt (fun r -> id r = s) all with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown devlint rule id %S" s)
+
+(* Path predicates work on '/'-separated relative paths as the scanner
+   produces them; normalize the few forms that vary by invocation. *)
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.lowercase_ascii path
+
+let contains_sub s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let under_fault path = contains_sub (normalize path) "lib/fault"
+
+let daemon_or_registry path =
+  let p = normalize path in
+  contains_sub p "serve" || contains_sub p "registry"
+  || contains_sub p "daemon"
+  || (String.length p >= 4 && String.sub p 0 4 = "bin/")
+
+let applies_to rule ~path =
+  match rule with
+  | Raw_wall_clock | Unwarped_sleep -> not (under_fault path)
+  | Catch_all_swallow -> daemon_or_registry path
+  | Domain_shared_mutable | Rename_without_fsync | Double_close -> true

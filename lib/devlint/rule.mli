@@ -1,0 +1,61 @@
+(** The devlint rule table.
+
+    Every rule is distilled from a bug class this repository has actually
+    shipped and then fixed: the [Pool.draining] cross-domain race and the
+    fd double-close from PR 9, the torn-write class PR 4 closed with
+    fsync-before-rename, and the clock-warp discipline PR 4/9 built all
+    deadline math on. Ids are stable — scripts, waivers, and the README
+    table all key on them — so rules are only ever appended, never
+    renumbered. *)
+
+type t =
+  | Domain_shared_mutable
+      (** [DL001] — a [ref] or [mutable] record field touched on a code
+          path reachable from a [Domain.spawn] closure without [Atomic]
+          or a held [Mutex]. The [Pool.draining] race, generalized. *)
+  | Raw_wall_clock
+      (** [DL002] — [Unix.gettimeofday] outside [lib/fault]. Deadline
+          math must use the warp-aware monotonic [Fault.Clock]. *)
+  | Unwarped_sleep
+      (** [DL003] — [Unix.sleep]/[Unix.sleepf] outside [lib/fault].
+          Raw sleeps ignore clock warps, so chaos tests that drive time
+          with [clock.warp] hang for the full real delay. *)
+  | Rename_without_fsync
+      (** [DL004] — [Sys.rename]/[Unix.rename] in a function with no
+          fsync: a crash can publish a name whose bytes never hit disk
+          (the PR 4 torn-write class). *)
+  | Double_close
+      (** [DL005] — two closes reaching one file descriptor (both
+          channels of a socket, or a channel plus the raw fd): the
+          second close can kill an unrelated connection that meanwhile
+          reused the fd number (the PR 9 fd-reuse race). *)
+  | Catch_all_swallow
+      (** [DL006] — [try ... with _ -> ()] in daemon/registry paths:
+          swallowing every exception silently turns real failures into
+          hangs and silent drops. *)
+
+val all : t list
+(** Declaration order — the stable report and table order. *)
+
+val id : t -> string
+(** ["DL001"] ... ["DL006"]. *)
+
+val title : t -> string
+(** Short kebab-case name, e.g. ["domain-shared-mutable"]. *)
+
+val describe : t -> string
+(** One-line "fires on" description (pinned to the README table). *)
+
+val hint : t -> string
+(** One-line fix hint carried on every finding (pinned to the README
+    table). *)
+
+val of_id : string -> (t, string) result
+
+val applies_to : t -> path:string -> bool
+(** Structural path scoping baked into the rule itself (distinct from
+    waivers, which need a justification): DL002/DL003 exempt
+    [lib/fault] — the clock shim and the sanctioned sleep helper are
+    where the raw primitives are allowed to live — and DL006 only fires
+    on daemon/registry paths (a path segment containing [serve],
+    [registry], or [daemon], or under [bin/]). *)

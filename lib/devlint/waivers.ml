@@ -1,0 +1,86 @@
+type t = { rule : Rule.t; path : string; justification : string }
+
+let strip_dot_slash p =
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let is_space c = c = ' ' || c = '\t'
+
+(* Split one non-comment line into (rule, path, justification). *)
+let parse_line lineno line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_space line.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_space line.[i]) then word (i + 1) else i in
+  let a0 = skip 0 in
+  let a1 = word a0 in
+  let b0 = skip a1 in
+  let b1 = word b0 in
+  let c0 = skip b1 in
+  let rule_s = String.sub line a0 (a1 - a0) in
+  let path_s = String.sub line b0 (b1 - b0) in
+  let just = String.trim (String.sub line c0 (n - c0)) in
+  if path_s = "" then
+    Error (Printf.sprintf "line %d: expected 'RULE PATH JUSTIFICATION'" lineno)
+  else if just = "" then
+    Error
+      (Printf.sprintf
+         "line %d: waiver for %s on %s has no justification — every waiver \
+          must say why"
+         lineno rule_s path_s)
+  else
+    match Rule.of_id rule_s with
+    | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+    | Ok rule ->
+        Ok { rule; path = strip_dot_slash path_s; justification = just }
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then go (lineno + 1) acc rest
+        else (
+          match parse_line lineno line with
+          | Error e -> Error e
+          | Ok w -> go (lineno + 1) (w :: acc) rest)
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error m -> Error (Printf.sprintf "%s: %s" path m)
+    | src -> (
+        match parse src with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok ws -> Ok ws)
+
+let covers w (f : Lint.finding) =
+  w.rule = f.rule && w.path = strip_dot_slash f.file
+
+let split waivers findings =
+  let used = Hashtbl.create 8 in
+  let unwaived, waived =
+    List.fold_left
+      (fun (un, wv) f ->
+        match List.find_opt (fun w -> covers w f) waivers with
+        | Some w ->
+            Hashtbl.replace used (Rule.id w.rule, w.path) ();
+            (un, (f, w) :: wv)
+        | None -> (f :: un, wv))
+      ([], []) findings
+  in
+  let unused =
+    List.filter
+      (fun w -> not (Hashtbl.mem used (Rule.id w.rule, w.path)))
+      waivers
+  in
+  (List.rev unwaived, List.rev waived, unused)

@@ -1,0 +1,37 @@
+(** The waiver file: the only way to silence a devlint finding.
+
+    One waiver per line, three mandatory fields separated by whitespace —
+    rule id, exact file path, justification (the rest of the line, which
+    must be non-empty):
+
+    {v
+    # comment lines and blanks are ignored
+    DL002 lib/planning/planning.ml engine elapsed reporting; not deadline math
+    v}
+
+    There are deliberately no blanket excludes: a waiver names one rule
+    on one file and says {e why} the finding is acceptable, so every
+    silenced site has a written owner-reviewed rationale sitting in the
+    repository next to the code. Waivers that no longer match any
+    finding are reported so stale entries get cleaned up. *)
+
+type t = { rule : Rule.t; path : string; justification : string }
+
+val parse : string -> (t list, string) result
+(** Parse the waiver-file syntax; [Error] names the offending line.
+    A line missing its justification is an error, not an empty waiver. *)
+
+val load : string -> (t list, string) result
+(** [parse] the given file; a missing file is [Ok []] — no waivers. *)
+
+val covers : t -> Lint.finding -> bool
+(** Rule ids must match and paths must be equal after normalizing a
+    leading ["./"]. *)
+
+val split :
+  t list ->
+  Lint.finding list ->
+  Lint.finding list * (Lint.finding * t) list * t list
+(** [split waivers findings] is [(unwaived, waived, unused)], preserving
+    finding order; [unused] keeps the waiver-file order of entries that
+    covered nothing. *)

@@ -215,6 +215,25 @@ module Clock = struct
     Mutex.lock m;
     skew := !skew +. dt;
     Mutex.unlock m
+
+  (* Sleep in short real-time slices, re-reading the warped clock
+     between them, so a concurrent [warp] ends the wait early. The
+     slice puts a ceiling on how long a test blocks after warping past
+     the deadline; the deadline itself comes from [now], so a warp that
+     jumps time forward satisfies it on the next slice boundary. *)
+  let sleep_for d =
+    if d > 0. then begin
+      let deadline = now () +. d in
+      let rec wait () =
+        let remaining = deadline -. now () in
+        if remaining > 0. then begin
+          (try Unix.sleepf (Float.min remaining 0.05)
+           with Unix.Unix_error _ -> ());
+          wait ()
+        end
+      in
+      wait ()
+    end
 end
 
 (* ------------------------------------------------------------------ *)

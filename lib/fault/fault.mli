@@ -170,4 +170,12 @@ module Clock : sig
   (** Shift the underlying reading by [dt] seconds (cumulative). A
       negative [dt] simulates the wall clock stepping back: {!now} then
       plateaus at its high-water mark instead of rewinding. *)
+
+  val sleep_for : float -> unit
+  (** Wait until {!now} has advanced by [d] seconds. Unlike a raw
+      [Unix.sleepf d], the wait re-reads the warped clock every 50 ms of
+      real time, so a test that calls {!warp} to jump time forward
+      unblocks the sleeper almost immediately — backoff and drain loops
+      built on this stay drivable from warp-based tests. Non-positive
+      [d] returns at once. *)
 end

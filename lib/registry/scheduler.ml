@@ -189,7 +189,7 @@ let run_one ?(optimize = false) ~timeout ~retries ~backoff ~budget key =
     | `Retry status ->
         let d = backoff_delay ~base:backoff ~key ~attempt:k in
         log := { n = k; failure = failure_string status; backoff = d } :: !log;
-        (try Unix.sleepf d with Unix.Unix_error _ -> ());
+        Fault.Clock.sleep_for d;
         attempt (k + 1)
   in
   let status, program, outcome, opt_passes, attempts = attempt 1 in

@@ -300,7 +300,13 @@ let quarantine ~root ~hash ~reason =
   in
   let dst = dest 0 in
   Sys.rename src dst;
-  write_file (dst / "reason.txt") (reason ^ "\n")
+  write_file (dst / "reason.txt") (reason ^ "\n");
+  fsync_path (dst / "reason.txt");
+  (* The rename is the publish: until both directories' metadata are on
+     disk a crash can leave the entry back in the store with a reason
+     file already in quarantine, or visible in neither. *)
+  fsync_path qdir;
+  fsync_path (Filename.dirname src)
 
 let quarantine_count ~root =
   let q = quarantine_dir root in

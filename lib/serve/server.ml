@@ -634,7 +634,7 @@ let drain t =
       Fault.Clock.warp (t.cfg.drain_grace +. 1.);
     while Atomic.get t.inflight > 0 && Fault.Clock.now () < deadline do
       Thread.yield ();
-      (try Unix.sleepf 0.002 with Unix.Unix_error _ -> ())
+      Fault.Clock.sleep_for 0.002
     done;
     match Store.write_warmset ~root:t.cfg.root (Lru.keys t.lru) with
     | Ok n -> Atomic.set t.snapshot_written n
@@ -651,16 +651,14 @@ let drain t =
    wake-up only costs one select tick, but an exception escaping here
    used to skip the socket-file cleanup entirely. *)
 let wake_accept t =
-  try
-    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-    | exception _ -> ()
-    | fd ->
-        Fun.protect
-          ~finally:(fun () -> try Unix.close fd with _ -> ())
-          (fun () ->
-            try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
-            with _ -> ())
-  with _ -> ()
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+          with Unix.Unix_error _ -> ())
 
 let serve_connection t fd =
   Atomic.incr t.connections;
@@ -668,8 +666,7 @@ let serve_connection t fd =
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
     (* serve.slow_client: a client that dribbles its request in. *)
-    if Fault.fire Fault.Serve_slow_client then (
-      try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
+    if Fault.fire Fault.Serve_slow_client then Fault.Clock.sleep_for 0.05;
     match input_line ic with
     | exception End_of_file -> ()
     | exception Sys_error _ -> ()
@@ -710,7 +707,7 @@ let serve_connection t fd =
      mid-handshake (observed as a spurious ECONNRESET under load). The
      input channel is left to the GC — its finalizer frees the buffer
      and never touches the descriptor. *)
-  (try close_out_noerr oc with _ -> ());
+  close_out_noerr oc;
   ignore (Atomic.fetch_and_add t.active_conns (-1))
 
 (* Over the connection budget: answer with the typed overload response
@@ -723,7 +720,7 @@ let shed_connection t fd =
      output_string oc (Protocol.response_line (Protocol.Overloaded 0.5));
      flush oc
    with Sys_error _ | Unix.Unix_error _ -> ());
-  (try close_out_noerr oc with _ -> ())
+  close_out_noerr oc
 
 (* SIGTERM/SIGINT request a graceful drain. The handler only flips the
    flag — all real work happens on the accept loop's thread, which polls

@@ -6,7 +6,8 @@
 # SMOKE_ONLY=chaos runs only the fault-injection / crash-recovery
 # section; SMOKE_ONLY=opt runs only the proof-carrying-optimizer section;
 # SMOKE_ONLY=serve runs only the synthesis-daemon section; SMOKE_ONLY=certify
-# runs only the symbolic-certifier section; SMOKE_ONLY=bench runs only the
+# runs only the symbolic-certifier section; SMOKE_ONLY=devlint runs only the
+# self-hosted codebase-linter gate; SMOKE_ONLY=bench runs only the
 # search-throughput regression gate (each used by the matching CI job,
 # which has already built and tested). The default runs everything.
 set -eu
@@ -470,6 +471,31 @@ wait "$serve_pid" 2>/dev/null || true
 rm -rf "$certdir"
 
 fi # SMOKE_ONLY=certify guard
+
+if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "devlint" ]; then
+
+echo "== devlint: tree is clean =="
+dune build bin/synth.exe
+synth="./_build/default/bin/synth.exe"
+# The whole tree must scan clean (unwaived findings exit 1), and the JSON
+# report must agree.
+devout="${TMPDIR:-/tmp}/sortsynth-devlint-smoke.json"
+"$synth" devlint --json > "$devout" \
+  || { echo "devlint found unwaived findings in lib/ or bin/" >&2; exit 1; }
+grep -q '"ok":true' "$devout" \
+  || { echo "devlint JSON report does not say ok" >&2; exit 1; }
+rm -f "$devout"
+
+echo "== devlint: corpus still fails =="
+# The gate is only a gate if a known-bad file trips it: every corpus file
+# must produce findings and a non-zero exit with no waivers applied.
+for bad in test/devlint_corpus/*.ml; do
+  if "$synth" devlint --waivers /dev/null "$bad" > /dev/null 2>&1; then
+    echo "devlint passed known-bad corpus file $bad" >&2; exit 1
+  fi
+done
+
+fi # SMOKE_ONLY=devlint guard
 
 if [ "${SMOKE_ONLY:-all}" = "all" ] || [ "${SMOKE_ONLY:-all}" = "bench" ]; then
 

@@ -1,0 +1,7 @@
+(* DL001 minimal case: a module-level ref mutated and read from a
+   Domain.spawn closure with no Atomic and no Mutex. *)
+let shared = ref 0
+
+let run () =
+  let d = Domain.spawn (fun () -> shared := !shared + 1) in
+  Domain.join d

@@ -1,0 +1,2 @@
+(* DL002 minimal case: raw wall-clock read outside lib/fault. *)
+let elapsed_since t0 = Unix.gettimeofday () -. t0

@@ -1,0 +1,3 @@
+(* DL003 minimal case: raw sleeps that ignore Fault.Clock warps. *)
+let backoff d = Unix.sleepf d
+let nap () = Unix.sleep 1

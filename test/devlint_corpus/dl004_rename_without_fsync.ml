@@ -1,0 +1,8 @@
+(* DL004 minimal case: a publishing rename with no fsync anywhere in the
+   enclosing function. The second function shows the rule's grain: an
+   fsync later in the same function keeps it quiet. *)
+let publish tmp dst = Sys.rename tmp dst
+
+let publish_durable fsync_path tmp dst =
+  Sys.rename tmp dst;
+  fsync_path (Filename.dirname dst)

@@ -1,0 +1,8 @@
+(* DL005 minimal case: both channels wrapping one descriptor closed —
+   two closes of the same fd number. *)
+let serve fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (input_line ic);
+  close_in ic;
+  close_out oc

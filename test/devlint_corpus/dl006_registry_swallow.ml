@@ -1,0 +1,3 @@
+(* DL006 minimal case: a blind catch-all in a registry-path file. The
+   filename puts it on the daemon/registry path the rule is scoped to. *)
+let best_effort_cleanup path = try Sys.remove path with _ -> ()

@@ -1,0 +1,13 @@
+(* Regression reconstruction of the PR 9 connection-teardown bug: both
+   channels wrapping the accepted socket's fd closed on the way out. In
+   a threaded process the fd number may already belong to a fresh
+   connection by the second close — observed as spurious ECONNRESET
+   under load. The shipped fix closes exactly one channel; devlint must
+   keep flagging this shape (DL005 on the second close). *)
+let teardown fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  ignore (input_line ic);
+  output_string oc "bye\n";
+  close_out_noerr oc;
+  close_in_noerr ic

@@ -1,0 +1,17 @@
+(* Regression reconstruction of the PR 9 Pool.draining race: a plain
+   mutable flag read by worker domains while the draining thread writes
+   it, with no Atomic and no lock. The shipped fix made the flag an
+   Atomic.t; devlint must keep flagging this shape (DL001 on every
+   unguarded access in the worker). The [drain] write happens on the
+   spawning thread and is deliberately not reachable from the spawn, so
+   precision is part of the regression: only the worker's accesses
+   flag. *)
+type pool = { mutable draining : bool; mutable jobs : int }
+
+let worker t =
+  while not t.draining do
+    if t.jobs > 0 then t.jobs <- t.jobs - 1
+  done
+
+let start t = Domain.spawn (fun () -> worker t)
+let drain t = t.draining <- true

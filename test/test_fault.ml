@@ -139,6 +139,30 @@ let test_clock_monotonic () =
   | _ -> Alcotest.fail "expired deadline did not raise"
   | exception Search.Timeout -> ()
 
+let test_sleep_for_warp_responsive () =
+  (* A 30 s sleep on the warped clock must unblock almost immediately
+     when a concurrent warp jumps time past the deadline — this is the
+     property that makes backoff/drain loops built on [sleep_for]
+     drivable from tests. Real elapsed time stays bounded by the warper
+     delay plus one 50 ms re-read slice (with generous headroom). *)
+  let t0 = Unix.gettimeofday () in
+  let warper =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.1;
+        Fault.Clock.warp 60.)
+      ()
+  in
+  Fault.Clock.sleep_for 30.;
+  Thread.join warper;
+  let real = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "unblocked by warp (%.2fs real)" real)
+    true (real < 5.);
+  (* Non-positive durations return immediately. *)
+  Fault.Clock.sleep_for 0.;
+  Fault.Clock.sleep_for (-1.)
+
 (* ------------------------------------------------------------------ *)
 (* Search: typed exhaustion and injected deadline/budget.              *)
 
@@ -510,6 +534,8 @@ let () =
           Alcotest.test_case "triggers" `Quick (disarmed test_triggers);
           Alcotest.test_case "monotonic clock" `Quick
             (disarmed test_clock_monotonic);
+          Alcotest.test_case "sleep_for unblocks on warp" `Quick
+            (disarmed test_sleep_for_warp_responsive);
         ] );
       ( "search",
         [
